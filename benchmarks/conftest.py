@@ -1,0 +1,19 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one table or figure of the paper through the
+experiment harness and records the headline numbers in
+``benchmark.extra_info`` so they appear in the pytest-benchmark report.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def record_info():
+    """Helper to stash experiment headline numbers into the benchmark report."""
+
+    def _record(benchmark, **info):
+        for key, value in info.items():
+            benchmark.extra_info[key] = round(value, 3) if isinstance(value, float) else value
+
+    return _record

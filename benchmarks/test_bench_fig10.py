@@ -1,0 +1,15 @@
+"""Benchmark E7: regenerate Fig. 10 (speedup and energy-efficiency improvement)."""
+
+from repro.experiments import fig10_speedup
+
+
+def test_bench_fig10(benchmark, record_info):
+    result = benchmark(fig10_speedup.run)
+    assert 20.0 <= result.mean_speedup("original") <= 27.0
+    record_info(
+        benchmark,
+        mean_speedup_original=result.mean_speedup("original"),
+        mean_energy_original=result.mean_energy_improvement("original"),
+        mean_speedup_optimized=result.mean_speedup("optimized"),
+        mean_energy_optimized=result.mean_energy_improvement("optimized"),
+    )

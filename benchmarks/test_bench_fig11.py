@@ -1,0 +1,16 @@
+"""Benchmark E8: regenerate Fig. 11 (end-to-end FPS with and without GauRast)."""
+
+from repro.experiments import fig11_fps
+
+
+def test_bench_fig11(benchmark, record_info):
+    result = benchmark(fig11_fps.run)
+    assert 20.0 <= result.mean_gaurast_fps("original") <= 30.0
+    assert 40.0 <= result.mean_gaurast_fps("optimized") <= 55.0
+    record_info(
+        benchmark,
+        fps_original=result.mean_gaurast_fps("original"),
+        fps_optimized=result.mean_gaurast_fps("optimized"),
+        speedup_original=result.mean_speedup("original"),
+        speedup_optimized=result.mean_speedup("optimized"),
+    )

@@ -1,0 +1,14 @@
+"""Benchmark E2: regenerate Fig. 4 (baseline FPS on the Jetson Orin NX)."""
+
+from repro.experiments import fig4_baseline_fps
+
+
+def test_bench_fig4(benchmark, record_info):
+    result = benchmark(fig4_baseline_fps.run)
+    assert 3.0 <= result.mean_fps <= 5.0
+    record_info(
+        benchmark,
+        mean_fps=result.mean_fps,
+        bicycle_fps=result.fps_by_scene["bicycle"],
+        bonsai_fps=result.fps_by_scene["bonsai"],
+    )

@@ -1,0 +1,15 @@
+"""Benchmark E3: regenerate Fig. 5 (per-stage runtime breakdown)."""
+
+from repro.experiments import fig5_breakdown
+
+
+def test_bench_fig5(benchmark, record_info):
+    result = benchmark(fig5_breakdown.run)
+    assert result.mean_rasterize_fraction > 0.80
+    record_info(
+        benchmark,
+        mean_rasterize_fraction=result.mean_rasterize_fraction,
+        min_rasterize_fraction=min(
+            b.rasterize_fraction for b in result.breakdowns
+        ),
+    )

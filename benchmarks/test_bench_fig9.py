@@ -1,0 +1,14 @@
+"""Benchmark E6: regenerate Fig. 9 (layout and area breakdown)."""
+
+from repro.experiments import fig9_area
+
+
+def test_bench_fig9(benchmark, record_info):
+    result = benchmark(fig9_area.run)
+    assert 0.18 <= result.pe_gaussian_fraction <= 0.25
+    record_info(
+        benchmark,
+        pe_gaussian_fraction=result.pe_gaussian_fraction,
+        module_mm2=result.module.module_mm2,
+        soc_overhead_percent=100 * result.soc_overhead_fraction,
+    )

@@ -1,0 +1,14 @@
+"""Benchmark E9: regenerate the Section V-C comparison against GSCore."""
+
+from repro.experiments import gscore_compare
+
+
+def test_bench_gscore(benchmark, record_info):
+    result = benchmark(gscore_compare.run)
+    assert 15.0 <= result.area_efficiency_improvement <= 35.0
+    record_info(
+        benchmark,
+        area_efficiency_improvement=result.area_efficiency_improvement,
+        gaurast_added_area_mm2=result.gaurast_added_area_mm2,
+        gaurast_instances=result.gaurast_instances,
+    )

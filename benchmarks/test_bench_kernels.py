@@ -1,0 +1,46 @@
+"""Micro-benchmarks of the library's own kernels (not a paper artifact).
+
+These benchmark the simulator building blocks themselves — the functional
+3DGS render, the cycle-level instance simulation and the paper-scale
+analytical evaluation — so regressions in the reproduction's performance are
+visible alongside the experiment benchmarks.
+"""
+
+import pytest
+
+from repro.core.gaurast import GauRastSystem
+from repro.gaussians.pipeline import render
+from repro.gaussians.synthetic import SyntheticConfig, make_synthetic_scene
+from repro.hardware.config import GauRastConfig
+from repro.hardware.rasterizer import GauRastInstance
+
+
+@pytest.fixture(scope="module")
+def bench_scene():
+    config = SyntheticConfig(num_gaussians=300, width=96, height=64, seed=13)
+    return make_synthetic_scene(config, name="bench")
+
+
+@pytest.fixture(scope="module")
+def bench_render(bench_scene):
+    return render(bench_scene)
+
+
+def test_bench_functional_render(benchmark, bench_scene):
+    result = benchmark(render, bench_scene)
+    assert result.fragments_evaluated > 0
+
+
+def test_bench_instance_cycle_simulation(benchmark, bench_render):
+    def simulate():
+        instance = GauRastInstance(GauRastConfig(num_instances=1))
+        return instance.rasterize_gaussians(bench_render.projected, bench_render.binning)
+
+    _, report = benchmark(simulate)
+    assert report.cycles > 0
+
+
+def test_bench_paper_scale_evaluation(benchmark):
+    system = GauRastSystem()
+    summary = benchmark(system.summary, "original")
+    assert summary["mean_raster_speedup"] > 20.0

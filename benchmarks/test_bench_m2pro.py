@@ -1,0 +1,14 @@
+"""Benchmark E10: regenerate the Section V-D Apple M2 Pro compatibility study."""
+
+from repro.experiments import m2pro_compare
+
+
+def test_bench_m2pro(benchmark, record_info):
+    result = benchmark(m2pro_compare.run)
+    assert 9.0 <= result.speedup <= 13.0
+    record_info(
+        benchmark,
+        speedup=result.speedup,
+        opensplat_ms=result.opensplat_time_s * 1e3,
+        gaurast_ms=result.gaurast_time_s * 1e3,
+    )

@@ -1,0 +1,15 @@
+"""Benchmark E14: motivation comparison (desktop GPU vs edge SoC vs GauRast)."""
+
+from repro.experiments import motivation_platforms
+
+
+def test_bench_motivation(benchmark, record_info):
+    result = benchmark(motivation_platforms.run)
+    assert result.desktop.mean_fps >= 30.0
+    assert result.edge.mean_fps <= 5.5
+    record_info(
+        benchmark,
+        desktop_fps=result.desktop.mean_fps,
+        edge_fps=result.edge.mean_fps,
+        edge_with_gaurast_fps=result.edge_with_gaurast.mean_fps,
+    )

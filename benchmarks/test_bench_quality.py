@@ -1,0 +1,15 @@
+"""Benchmark E13: Section V-A hardware-vs-software output validation."""
+
+from repro.experiments import quality_validation
+
+
+def test_bench_quality(benchmark, record_info):
+    result = benchmark.pedantic(
+        quality_validation.run, kwargs={"num_gaussian_scenes": 1}, rounds=1, iterations=1
+    )
+    assert result.fp32_lossless
+    record_info(
+        benchmark,
+        fp32_lossless=result.fp32_lossless,
+        fp16_min_psnr_db=result.fp16_min_psnr_db,
+    )

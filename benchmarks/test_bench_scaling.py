@@ -1,0 +1,15 @@
+"""Benchmark E12 (ablation): GauRast instance-count scaling sweep."""
+
+from repro.experiments import scaling_sweep
+
+
+def test_bench_scaling(benchmark, record_info):
+    result = benchmark(scaling_sweep.run)
+    design_point = result.point_for(15)
+    assert design_point.total_pes == 240
+    record_info(
+        benchmark,
+        design_point_speedup=design_point.raster_speedup,
+        design_point_fps=design_point.end_to_end_fps,
+        design_point_added_area_mm2=design_point.added_area_mm2,
+    )

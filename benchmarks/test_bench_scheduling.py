@@ -1,0 +1,9 @@
+"""Benchmark E11 (ablation): CUDA-collaborative vs serial scheduling."""
+
+from repro.experiments import scheduling_ablation
+
+
+def test_bench_scheduling(benchmark, record_info):
+    result = benchmark(scheduling_ablation.run)
+    assert 1.0 <= result.mean_gain <= 2.0
+    record_info(benchmark, mean_pipelining_gain=result.mean_gain)

@@ -1,0 +1,14 @@
+"""Benchmark E1: regenerate Table I (rendering methodology comparison)."""
+
+from repro.experiments import table1_methods
+
+
+def test_bench_table1(benchmark, record_info):
+    result = benchmark(table1_methods.run)
+    methods = result.by_method()
+    assert set(methods) == {"Triangle Mesh", "NeRF", "3D Gaussian"}
+    record_info(
+        benchmark,
+        triangle_ops_per_fragment=methods["Triangle Mesh"].ops_per_fragment,
+        gaussian_ops_per_fragment=methods["3D Gaussian"].ops_per_fragment,
+    )

@@ -1,0 +1,16 @@
+"""Benchmark E4: regenerate Table II (computational primitives)."""
+
+from repro.experiments import table2_primitives
+
+
+def test_bench_table2(benchmark, record_info):
+    result = benchmark(table2_primitives.run)
+    assert result.triangle_needs_div
+    assert result.gaussian_needs_exp
+    record_info(
+        benchmark,
+        gaussian_add=result.gaussian_totals.get("add", 0),
+        gaussian_mul=result.gaussian_totals.get("mul", 0),
+        gaussian_exp=result.gaussian_totals.get("exp", 0),
+        triangle_div=result.triangle_totals.get("div", 0),
+    )

@@ -1,0 +1,14 @@
+"""Benchmark E5: regenerate Table III (rasterization runtime w/ and w/o GauRast)."""
+
+from repro.experiments import table3_runtime
+
+
+def test_bench_table3(benchmark, record_info):
+    result = benchmark(table3_runtime.run)
+    assert 20.0 <= result.mean_speedup <= 27.0
+    record_info(
+        benchmark,
+        mean_speedup=result.mean_speedup,
+        bicycle_baseline_ms=result.baseline_ms["bicycle"],
+        bicycle_gaurast_ms=result.gaurast_ms["bicycle"],
+    )

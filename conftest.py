@@ -1,0 +1,14 @@
+"""Pytest root configuration.
+
+Ensures the ``src`` layout is importable even when the package has not been
+installed (e.g. in fully offline environments where editable installs are
+unavailable); an installed ``repro`` package takes precedence because the
+path is appended, not prepended.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.append(_SRC)

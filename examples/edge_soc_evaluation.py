@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Edge-SoC evaluation: reproduce the paper's headline comparison tables.
+
+Evaluates all seven NeRF-360 scenes with both rendering pipelines (original
+3DGS and the Mini-Splatting efficiency-optimised variant) on the baseline
+Jetson Orin NX model and on the same SoC with GauRast, then prints the
+per-scene rasterization runtimes (Table III), the speedup/energy series
+(Fig. 10) and the end-to-end FPS series (Fig. 11), plus the area headlines
+(Fig. 9).
+
+Run with::
+
+    python examples/edge_soc_evaluation.py
+"""
+
+from __future__ import annotations
+
+from repro.core import GauRastSystem
+from repro.experiments import fig9_area, fig10_speedup, fig11_fps, table3_runtime
+from repro.experiments.common import fmt, format_table
+
+
+def print_table3(system: GauRastSystem) -> None:
+    result = table3_runtime.run(system=system)
+    print("Rasterization runtime per scene (original 3DGS):")
+    print(table3_runtime.format_result(result))
+    print(f"mean rasterization speedup: {result.mean_speedup:.1f}x\n")
+
+
+def print_fig10_and_11(system: GauRastSystem) -> None:
+    speedups = fig10_speedup.run(system=system)
+    print("Rasterization speedup and energy-efficiency improvement:")
+    print(fig10_speedup.format_result(speedups))
+    print()
+
+    fps = fig11_fps.run(system=system)
+    print("End-to-end FPS with and without GauRast:")
+    print(fig11_fps.format_result(fps))
+    print()
+
+    headers = ["Pipeline", "Mean FPS w/o", "Mean FPS w/", "Speedup"]
+    rows = []
+    for algorithm in ("original", "optimized"):
+        rows.append(
+            (
+                algorithm,
+                fmt(fps.mean_baseline_fps(algorithm), 1),
+                fmt(fps.mean_gaurast_fps(algorithm), 1),
+                fmt(fps.mean_speedup(algorithm), 1) + "x",
+            )
+        )
+    print(format_table(headers, rows))
+    print()
+
+
+def print_area_headlines() -> None:
+    area = fig9_area.run()
+    print(
+        "Area: the Gaussian-only logic adds "
+        f"{100 * area.pe_gaussian_fraction:.1f}% to each PE and "
+        f"{area.scaled_enhanced_mm2:.2f} mm^2 "
+        f"({100 * area.soc_overhead_fraction:.2f}% of the SoC) "
+        "for the scaled 15-instance design."
+    )
+
+
+def main() -> None:
+    system = GauRastSystem()
+    print(
+        f"Evaluating GauRast ({system.config.num_instances} instances x "
+        f"{system.config.pes_per_instance} PEs at "
+        f"{system.config.clock_hz / 1e9:.1f} GHz, "
+        f"{system.config.precision.value}) against "
+        f"{system.baseline.name} ({system.baseline.power_limit_w:.0f} W)\n"
+    )
+    print_table3(system)
+    print_fig10_and_11(system)
+    print_area_headlines()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""GauRast reproduction library.
+
+A Python reproduction of *GauRast: Enhancing GPU Triangle Rasterizers to
+Accelerate 3D Gaussian Splatting* (DAC 2025): the 3D Gaussian Splatting
+rendering pipeline, a triangle-rendering substrate, a cycle-level model of
+the GauRast enhanced rasterizer with area and energy models, baseline edge-
+GPU and accelerator models, and the experiment harness that regenerates the
+paper's tables and figures.
+
+Package map
+-----------
+``repro.core``
+    Public API (:class:`~repro.core.gaurast.GauRastSystem`) and metrics.
+``repro.gaussians``
+    Functional 3DGS pipeline (preprocess, sort, rasterize) and synthetic
+    scene generation.
+``repro.triangles``
+    Triangle mesh rendering substrate.
+``repro.hardware``
+    GauRast PE/rasterizer cycle model, area model, energy model.
+``repro.baselines``
+    Jetson Orin NX, GSCore and Apple M2 Pro models.
+``repro.scheduling``
+    CUDA-collaborative pipelined scheduling.
+``repro.profiling``
+    Workload statistics and per-stage runtime breakdowns.
+``repro.datasets``
+    NeRF-360 scene descriptors.
+``repro.experiments``
+    One module per table/figure of the paper's evaluation.
+"""
+
+from repro.core import GauRastSystem
+
+__all__ = ["GauRastSystem", "__version__"]
+
+__version__ = "0.1.0"

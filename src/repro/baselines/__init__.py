@@ -1,0 +1,28 @@
+"""Baseline platform models used in the paper's evaluation.
+
+* :mod:`repro.baselines.gpu_model` — a generic CUDA-core GPU performance
+  model for the 3DGS pipeline stages.
+* :mod:`repro.baselines.jetson` — the NVIDIA Jetson Orin NX edge SoC at its
+  10 W power limit, the baseline of Figs. 4/5/10/11 and Table III.
+* :mod:`repro.baselines.gscore` — the GSCore dedicated 3DGS accelerator,
+  the comparison point of Section V-C.
+* :mod:`repro.baselines.m2pro` — the Apple M2 Pro GPU running OpenSplat,
+  the compatibility study of Section V-D.
+* :mod:`repro.baselines.desktop` — a high-power desktop GPU (RTX A6000
+  class), the reference point of the paper's motivation.
+"""
+
+from repro.baselines.desktop import DesktopGpu
+from repro.baselines.gpu_model import CudaGpuModel, StageTimes
+from repro.baselines.gscore import GScoreModel
+from repro.baselines.jetson import JetsonOrinNX
+from repro.baselines.m2pro import AppleM2Pro
+
+__all__ = [
+    "AppleM2Pro",
+    "CudaGpuModel",
+    "DesktopGpu",
+    "GScoreModel",
+    "JetsonOrinNX",
+    "StageTimes",
+]

@@ -1,0 +1,75 @@
+"""Desktop-class GPU reference model.
+
+The paper's introduction notes that 3DGS reaches real-time rates (>= 30 FPS)
+on high-powered (>= 200 W) desktop GPUs such as the NVIDIA RTX A6000 but
+only 2-5 FPS on 10 W edge SoCs.  This module models such a desktop GPU with
+the same stage structure as the edge baseline so the motivation experiment
+can reproduce that contrast — and show that GauRast closes most of the gap
+at a fraction of the power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.gpu_model import CudaGpuModel, StageTimes
+from repro.baselines.jetson import make_orin_nx_model
+from repro.profiling.workload import WorkloadStatistics
+
+#: Sustained rasterization throughput of a desktop RTX A6000-class GPU
+#: relative to the Orin NX at 10 W (more cores, higher clocks, far more
+#: memory bandwidth).
+DESKTOP_RELATIVE_THROUGHPUT = 35.0
+
+#: Stage 1-2 speedup relative to the edge SoC (these stages are lighter and
+#: partially latency-bound, so they scale a little less).
+DESKTOP_STAGE12_SPEEDUP = 20.0
+
+
+def make_rtx_a6000_model() -> CudaGpuModel:
+    """Approximate model of a 300 W desktop GPU running the 3DGS pipeline."""
+    orin = make_orin_nx_model()
+    return CudaGpuModel(
+        name="rtx-a6000-desktop",
+        num_cores=10752,
+        core_clock_hz=orin.lane_cycles_per_second
+        * DESKTOP_RELATIVE_THROUGHPUT
+        / 10752,
+        raster_cycles_per_fragment=orin.raster_cycles_per_fragment,
+        preprocess_s_per_gaussian=orin.preprocess_s_per_gaussian / DESKTOP_STAGE12_SPEEDUP,
+        preprocess_s_per_pixel=orin.preprocess_s_per_pixel / DESKTOP_STAGE12_SPEEDUP,
+        sort_s_per_key=orin.sort_s_per_key / DESKTOP_STAGE12_SPEEDUP,
+        sort_s_per_pixel=orin.sort_s_per_pixel / DESKTOP_STAGE12_SPEEDUP,
+        stage_fixed_overhead_s=orin.stage_fixed_overhead_s / 5.0,
+        raster_power_w=250.0,
+        board_power_w=300.0,
+    )
+
+
+@dataclass
+class DesktopGpu:
+    """A high-power desktop GPU reference platform."""
+
+    gpu: CudaGpuModel = field(default_factory=make_rtx_a6000_model)
+
+    @property
+    def name(self) -> str:
+        """Platform name."""
+        return self.gpu.name
+
+    @property
+    def power_w(self) -> float:
+        """Board power."""
+        return self.gpu.board_power_w
+
+    def stage_times(self, workload: WorkloadStatistics) -> StageTimes:
+        """Per-stage runtimes of one frame."""
+        return self.gpu.stage_times(workload)
+
+    def fps(self, workload: WorkloadStatistics) -> float:
+        """End-to-end frames per second."""
+        return self.gpu.fps(workload)
+
+    def rasterization_energy(self, workload: WorkloadStatistics) -> float:
+        """Rasterization energy per frame, joules."""
+        return self.gpu.rasterization_energy(workload)

@@ -1,0 +1,173 @@
+"""Generic CUDA-core GPU performance model for the 3DGS pipeline.
+
+The model expresses each pipeline stage's runtime as a simple linear
+function of the frame's workload statistics:
+
+* **Stage 1 (preprocessing)** scales with the number of Gaussians (SH
+  evaluation, covariance projection) plus a small per-pixel term (image
+  buffer setup) and a fixed kernel-launch overhead.
+* **Stage 2 (sorting)** scales with the number of duplicated sort keys
+  (radix-sort passes) and with the number of pixels/tiles (tile-range
+  computation, prefix sums) plus a fixed overhead.
+* **Stage 3 (Gaussian rasterization)** is modelled at the fragment level:
+  every (tile, Gaussian) key is evaluated against all pixels of its tile —
+  on a SIMT GPU a lane whose pixel terminated early still occupies its warp
+  slot, so the baseline pays for the *nominal* fragment count — with a
+  calibrated number of lane-cycles per fragment.
+
+The per-element constants are calibrated against the Nsight Systems
+measurements the paper reports for the Jetson Orin NX (Table III, Figs. 4
+and 5); the calibration is documented in DESIGN.md.  Other platforms
+(Apple M2 Pro, Jetson Xavier NX) reuse the same model with their own
+compute-throughput parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.profiling.workload import WorkloadStatistics
+
+
+@dataclass(frozen=True)
+class StageTimes:
+    """Per-stage runtimes of one frame, in seconds."""
+
+    preprocess: float
+    sort: float
+    rasterize: float
+
+    @property
+    def total(self) -> float:
+        """End-to-end frame time without cross-stage overlap."""
+        return self.preprocess + self.sort + self.rasterize
+
+    @property
+    def fps(self) -> float:
+        """Frames per second of the serial pipeline."""
+        if self.total == 0:
+            return float("inf")
+        return 1.0 / self.total
+
+    @property
+    def rasterize_fraction(self) -> float:
+        """Share of the frame time spent in Gaussian rasterization."""
+        if self.total == 0:
+            return 0.0
+        return self.rasterize / self.total
+
+    @property
+    def non_rasterize(self) -> float:
+        """Time of stages 1-2 (the part GauRast leaves on the CUDA cores)."""
+        return self.preprocess + self.sort
+
+
+@dataclass(frozen=True)
+class CudaGpuModel:
+    """Analytical model of a CUDA-core GPU running the 3DGS pipeline.
+
+    Attributes
+    ----------
+    name:
+        Platform name.
+    num_cores:
+        Number of CUDA cores (SIMT lanes).
+    core_clock_hz:
+        Sustained core clock at the platform's power limit.
+    raster_cycles_per_fragment:
+        Lane-cycles one Gaussian-pixel fragment costs in the rasterization
+        kernel (alpha blending is memory- and divergence-bound, so this is
+        far above the raw FLOP count).
+    preprocess_s_per_gaussian:
+        Stage-1 cost per Gaussian.
+    preprocess_s_per_pixel:
+        Stage-1 cost per output pixel.
+    sort_s_per_key:
+        Stage-2 cost per duplicated sort key.
+    sort_s_per_pixel:
+        Stage-2 cost per output pixel (tile ranges, prefix sums).
+    stage_fixed_overhead_s:
+        Fixed per-frame overhead of stages 1-2 (kernel launches, sync).
+    raster_power_w:
+        Power drawn by the GPU and memory system during the rasterization
+        kernel (used for the energy-efficiency comparison).
+    board_power_w:
+        Platform power limit (reported for context).
+    """
+
+    name: str
+    num_cores: int
+    core_clock_hz: float
+    raster_cycles_per_fragment: float = 192.0
+    preprocess_s_per_gaussian: float = 3.0e-9
+    preprocess_s_per_pixel: float = 0.3e-9
+    sort_s_per_key: float = 5.5e-9
+    sort_s_per_pixel: float = 7.7e-9
+    stage_fixed_overhead_s: float = 3.5e-3
+    raster_power_w: float = 5.5
+    board_power_w: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.num_cores <= 0 or self.core_clock_hz <= 0:
+            raise ValueError("num_cores and core_clock_hz must be positive")
+        if self.raster_cycles_per_fragment <= 0:
+            raise ValueError("raster_cycles_per_fragment must be positive")
+
+    # ------------------------------------------------------------------ #
+    # Throughput
+    # ------------------------------------------------------------------ #
+    @property
+    def lane_cycles_per_second(self) -> float:
+        """Aggregate lane-cycles per second (cores x clock)."""
+        return self.num_cores * self.core_clock_hz
+
+    @property
+    def fragments_per_second(self) -> float:
+        """Sustained Gaussian-fragment rate of the rasterization kernel."""
+        return self.lane_cycles_per_second / self.raster_cycles_per_fragment
+
+    # ------------------------------------------------------------------ #
+    # Stage times
+    # ------------------------------------------------------------------ #
+    def preprocess_time(self, workload: WorkloadStatistics) -> float:
+        """Stage-1 (preprocessing) runtime in seconds."""
+        return (
+            workload.num_gaussians * self.preprocess_s_per_gaussian
+            + workload.num_pixels * self.preprocess_s_per_pixel
+            + self.stage_fixed_overhead_s * 0.3
+        )
+
+    def sort_time(self, workload: WorkloadStatistics) -> float:
+        """Stage-2 (sorting and tile binning) runtime in seconds."""
+        return (
+            workload.sort_keys * self.sort_s_per_key
+            + workload.num_pixels * self.sort_s_per_pixel
+            + self.stage_fixed_overhead_s * 0.7
+        )
+
+    def rasterization_time(self, workload: WorkloadStatistics) -> float:
+        """Stage-3 (Gaussian rasterization) runtime in seconds."""
+        return workload.nominal_fragments / self.fragments_per_second
+
+    def stage_times(self, workload: WorkloadStatistics) -> StageTimes:
+        """All three stage runtimes for one frame."""
+        return StageTimes(
+            preprocess=self.preprocess_time(workload),
+            sort=self.sort_time(workload),
+            rasterize=self.rasterization_time(workload),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Frame-level metrics
+    # ------------------------------------------------------------------ #
+    def frame_time(self, workload: WorkloadStatistics) -> float:
+        """Serial end-to-end frame time in seconds."""
+        return self.stage_times(workload).total
+
+    def fps(self, workload: WorkloadStatistics) -> float:
+        """Frames per second of the serial pipeline."""
+        return self.stage_times(workload).fps
+
+    def rasterization_energy(self, workload: WorkloadStatistics) -> float:
+        """Energy of the rasterization stage in joules."""
+        return self.rasterization_time(workload) * self.raster_power_w

@@ -1,0 +1,74 @@
+"""Model of GSCore, the dedicated 3DGS accelerator compared in Section V-C.
+
+GSCore [17] is the only previously published accelerator for 3DGS.  The
+paper compares against GSCore's published numbers: a 20x Gaussian-
+rasterization speedup over the Jetson Xavier NX SoC using a dedicated
+3.95 mm^2 accelerator at FP16 precision.  This module captures those
+published characteristics (we have no access to the GSCore RTL) together
+with a model of its host SoC so the experiments can derive GSCore's absolute
+rasterization throughput and compare area efficiency against an FP16
+re-implementation of GauRast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.gpu_model import CudaGpuModel
+from repro.baselines.jetson import make_orin_nx_model
+from repro.profiling.workload import WorkloadStatistics
+
+#: Rasterization throughput of the Jetson Xavier NX relative to the Orin NX
+#: baseline (older Volta GPU with 384 CUDA cores at a comparable power
+#: budget).
+XAVIER_NX_RELATIVE_THROUGHPUT = 0.6
+
+#: Published GSCore characteristics.
+GSCORE_SPEEDUP_OVER_XAVIER = 20.0
+GSCORE_AREA_MM2 = 3.95
+GSCORE_PRECISION = "fp16"
+
+
+def make_xavier_nx_model() -> CudaGpuModel:
+    """Approximate CUDA model of the Jetson Xavier NX (GSCore's host SoC)."""
+    orin = make_orin_nx_model()
+    # Same per-fragment cost structure, scaled to Xavier's lower throughput.
+    return CudaGpuModel(
+        name="jetson-xavier-nx",
+        num_cores=384,
+        core_clock_hz=orin.lane_cycles_per_second
+        * XAVIER_NX_RELATIVE_THROUGHPUT
+        / 384,
+        raster_cycles_per_fragment=orin.raster_cycles_per_fragment,
+        raster_power_w=orin.raster_power_w,
+        board_power_w=15.0,
+    )
+
+
+@dataclass
+class GScoreModel:
+    """The GSCore dedicated accelerator, described by its published numbers."""
+
+    host: CudaGpuModel = field(default_factory=make_xavier_nx_model)
+    speedup_over_host: float = GSCORE_SPEEDUP_OVER_XAVIER
+    area_mm2: float = GSCORE_AREA_MM2
+    precision: str = GSCORE_PRECISION
+
+    def __post_init__(self) -> None:
+        if self.speedup_over_host <= 0:
+            raise ValueError("speedup_over_host must be positive")
+        if self.area_mm2 <= 0:
+            raise ValueError("area_mm2 must be positive")
+
+    @property
+    def fragments_per_second(self) -> float:
+        """Absolute Gaussian-fragment throughput implied by the published speedup."""
+        return self.host.fragments_per_second * self.speedup_over_host
+
+    def rasterization_time(self, workload: WorkloadStatistics) -> float:
+        """Rasterization time of one frame on GSCore, seconds."""
+        return workload.nominal_fragments / self.fragments_per_second
+
+    def area_efficiency(self) -> float:
+        """Rasterization throughput per mm^2 (fragments per second per mm^2)."""
+        return self.fragments_per_second / self.area_mm2

@@ -1,0 +1,84 @@
+"""Jetson Orin NX baseline model (the paper's target edge SoC).
+
+The paper profiles the 3DGS pipeline on the NVIDIA Jetson Orin NX under a
+10 W power limit using Nsight Systems (Section II-B) and compares GauRast
+against its CUDA rasterization kernel (Section V-B).  We cannot run on the
+physical module, so this module instantiates the generic
+:class:`~repro.baselines.gpu_model.CudaGpuModel` with the Orin NX's GPU
+configuration at the 10 W operating point and with per-element costs
+calibrated to the per-scene runtimes the paper reports.  A thin class wraps
+the model to add the SoC-specific attributes the experiments reference
+(name, power limit, rasterizer area equivalence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.gpu_model import CudaGpuModel, StageTimes
+from repro.profiling.workload import WorkloadStatistics
+
+#: GPU configuration of the Orin NX at the 10 W power profile: 1024 Ampere
+#: CUDA cores at a sustained ~612 MHz.
+ORIN_NX_CUDA_CORES = 1024
+ORIN_NX_GPU_CLOCK_HZ = 612.0e6
+
+#: Power attributable to the GPU and memory system while the rasterization
+#: kernel runs (out of the 10 W module budget).
+ORIN_NX_RASTER_POWER_W = 5.5
+
+
+def make_orin_nx_model() -> CudaGpuModel:
+    """Build the calibrated CUDA model of the Jetson Orin NX at 10 W."""
+    return CudaGpuModel(
+        name="jetson-orin-nx-10w",
+        num_cores=ORIN_NX_CUDA_CORES,
+        core_clock_hz=ORIN_NX_GPU_CLOCK_HZ,
+        raster_power_w=ORIN_NX_RASTER_POWER_W,
+        board_power_w=10.0,
+    )
+
+
+@dataclass
+class JetsonOrinNX:
+    """The baseline edge SoC: CUDA 3DGS rendering on the Jetson Orin NX."""
+
+    gpu: CudaGpuModel = field(default_factory=make_orin_nx_model)
+
+    # The scaled GauRast design is sized to match the effective area of the
+    # SoC's existing triangle-rasterizer units: 15 instances of the 16-PE
+    # module (Section V-A "Simulator Setup").
+    equivalent_rasterizer_instances: int = 15
+
+    @property
+    def name(self) -> str:
+        """Platform name."""
+        return self.gpu.name
+
+    @property
+    def power_limit_w(self) -> float:
+        """Module power limit used for the evaluation."""
+        return self.gpu.board_power_w
+
+    # ------------------------------------------------------------------ #
+    # Delegated performance queries
+    # ------------------------------------------------------------------ #
+    def stage_times(self, workload: WorkloadStatistics) -> StageTimes:
+        """Per-stage runtimes of one frame."""
+        return self.gpu.stage_times(workload)
+
+    def rasterization_time(self, workload: WorkloadStatistics) -> float:
+        """CUDA rasterization time of one frame, seconds."""
+        return self.gpu.rasterization_time(workload)
+
+    def rasterization_energy(self, workload: WorkloadStatistics) -> float:
+        """CUDA rasterization energy of one frame, joules."""
+        return self.gpu.rasterization_energy(workload)
+
+    def frame_time(self, workload: WorkloadStatistics) -> float:
+        """Serial end-to-end frame time, seconds."""
+        return self.gpu.frame_time(workload)
+
+    def fps(self, workload: WorkloadStatistics) -> float:
+        """End-to-end frames per second on the unmodified SoC."""
+        return self.gpu.fps(workload)

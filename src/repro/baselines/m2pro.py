@@ -1,0 +1,60 @@
+"""Apple M2 Pro + OpenSplat model for the compatibility study (Section V-D).
+
+GauRast targets any GPU with a triangle rasterizer.  The paper demonstrates
+this with an Apple M2 Pro running OpenSplat: the M2 Pro offers 2.6x the FP32
+compute of the Orin NX baseline, and attaching GauRast to its (equally
+capable) rasterizer hardware yields an 11.2x rasterization speedup on the
+*bicycle* scene.
+
+The model derives the M2 Pro's software rasterization time from the Orin
+baseline scaled by the published compute ratio and by an implementation-
+efficiency factor for OpenSplat's Metal kernels relative to the heavily
+tuned reference CUDA kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.gpu_model import CudaGpuModel
+from repro.baselines.jetson import make_orin_nx_model
+from repro.profiling.workload import WorkloadStatistics
+
+#: FP32 compute capability of the Apple M2 Pro GPU relative to the Orin NX
+#: baseline (from the paper: "2.6x greater FP32 computing capability").
+M2PRO_FP32_RATIO = 2.6
+
+#: Efficiency of OpenSplat's Metal rasterization kernel relative to the
+#: reference CUDA implementation (OpenSplat is a portable re-implementation
+#: and does not reach the tuned kernel's utilisation).
+OPENSPLAT_EFFICIENCY = 0.73
+
+
+@dataclass
+class AppleM2Pro:
+    """Apple M2 Pro GPU running OpenSplat."""
+
+    reference: CudaGpuModel = field(default_factory=make_orin_nx_model)
+    fp32_ratio: float = M2PRO_FP32_RATIO
+    software_efficiency: float = OPENSPLAT_EFFICIENCY
+
+    def __post_init__(self) -> None:
+        if self.fp32_ratio <= 0:
+            raise ValueError("fp32_ratio must be positive")
+        if not 0 < self.software_efficiency <= 1:
+            raise ValueError("software_efficiency must be in (0, 1]")
+
+    @property
+    def name(self) -> str:
+        """Platform name."""
+        return "apple-m2-pro-opensplat"
+
+    @property
+    def effective_speedup_over_reference(self) -> float:
+        """Software rasterization speed relative to the Orin NX CUDA kernel."""
+        return self.fp32_ratio * self.software_efficiency
+
+    def rasterization_time(self, workload: WorkloadStatistics) -> float:
+        """OpenSplat rasterization time of one frame on the M2 Pro, seconds."""
+        reference_time = self.reference.rasterization_time(workload)
+        return reference_time / self.effective_speedup_over_reference

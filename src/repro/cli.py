@@ -1,0 +1,186 @@
+"""Command-line interface of the GauRast reproduction.
+
+Four subcommands cover the library's main flows::
+
+    python -m repro evaluate [--algorithm original|optimized] [--scene NAME]
+        Paper-scale baseline-vs-GauRast comparison (Table III / Figs. 10-11).
+
+    python -m repro render [--gaussians N] [--width W] [--height H]
+                           [--output image.ppm] [--save-scene scene.npz]
+        Synthesise a scene, render it with the cycle-level hardware model,
+        validate against the software renderer and optionally write outputs.
+
+    python -m repro experiments [NAME ...]
+        Run the experiment harness (all experiments by default).
+
+    python -m repro validate [--fp16]
+        Hardware-vs-software output validation sweep (Section V-A).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.gaurast import GauRastSystem
+from repro.datasets.nerf360 import SCENE_NAMES
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments.common import fmt, format_table
+from repro.gaussians.io import save_image_ppm, save_scene
+from repro.gaussians.metrics import compare_images
+from repro.gaussians.pipeline import render as functional_render
+from repro.gaussians.synthetic import SyntheticConfig, make_synthetic_scene
+from repro.hardware.config import GauRastConfig, PROTOTYPE_CONFIG
+from repro.hardware.fp import Precision
+from repro.hardware.validation import validate_against_software
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GauRast reproduction: models, experiments and rendering.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    evaluate = subparsers.add_parser(
+        "evaluate", help="paper-scale baseline vs GauRast comparison"
+    )
+    evaluate.add_argument(
+        "--algorithm", choices=("original", "optimized"), default="original"
+    )
+    evaluate.add_argument(
+        "--scene", choices=SCENE_NAMES, default=None,
+        help="evaluate a single scene (default: all seven)",
+    )
+
+    render = subparsers.add_parser(
+        "render", help="render a synthetic scene with the hardware model"
+    )
+    render.add_argument("--gaussians", type=int, default=800)
+    render.add_argument("--width", type=int, default=160)
+    render.add_argument("--height", type=int, default=120)
+    render.add_argument("--seed", type=int, default=0)
+    render.add_argument("--instances", type=int, default=4)
+    render.add_argument("--output", default=None, help="write the image as PPM")
+    render.add_argument("--save-scene", default=None, help="write the scene as .npz")
+
+    experiments = subparsers.add_parser(
+        "experiments", help="run the table/figure experiment harness"
+    )
+    experiments.add_argument(
+        "names", nargs="*", metavar="NAME",
+        help=f"experiments to run (default: all). Known: {', '.join(ALL_EXPERIMENTS)}",
+    )
+
+    validate = subparsers.add_parser(
+        "validate", help="hardware-vs-software output validation"
+    )
+    validate.add_argument("--fp16", action="store_true",
+                          help="validate the FP16 datapath instead of FP32")
+    validate.add_argument("--scenes", type=int, default=2,
+                          help="number of random Gaussian scenes")
+    return parser
+
+
+def _command_evaluate(args: argparse.Namespace) -> int:
+    system = GauRastSystem()
+    if args.scene:
+        evaluations = [system.evaluate_scene(args.scene, args.algorithm)]
+    else:
+        evaluations = system.evaluate_all(args.algorithm)
+
+    headers = [
+        "Scene", "Baseline raster (ms)", "GauRast raster (ms)", "Speedup",
+        "Energy eff.", "Baseline FPS", "GauRast FPS",
+    ]
+    rows = []
+    for evaluation in evaluations:
+        raster = evaluation.rasterization
+        end_to_end = evaluation.end_to_end
+        rows.append(
+            (
+                evaluation.scene_name,
+                fmt(raster.baseline_time_s * 1e3, 1),
+                fmt(raster.gaurast_time_s * 1e3, 1),
+                fmt(raster.speedup, 1) + "x",
+                fmt(raster.energy_improvement, 1) + "x",
+                fmt(end_to_end.baseline_fps, 1),
+                fmt(end_to_end.gaurast_fps, 1),
+            )
+        )
+    print(f"algorithm: {args.algorithm}")
+    print(format_table(headers, rows))
+    if len(evaluations) > 1:
+        mean_speedup = sum(e.rasterization.speedup for e in evaluations) / len(evaluations)
+        mean_fps = sum(e.end_to_end.gaurast_fps for e in evaluations) / len(evaluations)
+        print(f"mean rasterization speedup {mean_speedup:.1f}x, "
+              f"mean FPS with GauRast {mean_fps:.1f}")
+    return 0
+
+
+def _command_render(args: argparse.Namespace) -> int:
+    config = SyntheticConfig(
+        num_gaussians=args.gaussians, width=args.width, height=args.height,
+        seed=args.seed,
+    )
+    scene = make_synthetic_scene(config, name="cli-scene")
+    software = functional_render(scene)
+
+    system = GauRastSystem(config=GauRastConfig(num_instances=args.instances))
+    image, report = system.render(scene)
+    comparison = compare_images(software.image, image)
+    print(f"rendered {scene.num_gaussians} Gaussians at {args.width}x{args.height} "
+          f"in {report.frame_cycles} cycles on {args.instances} instances")
+    print(f"validation vs software renderer: max |err| = "
+          f"{comparison.max_abs_error:.2e}, SSIM = {comparison.ssim:.4f}")
+
+    if args.save_scene:
+        path = save_scene(scene, args.save_scene)
+        print(f"scene written to {path}")
+    if args.output:
+        path = save_image_ppm(np.clip(image, 0.0, 1.0), args.output)
+        print(f"image written to {path}")
+    return 0
+
+
+def _command_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments.__main__ import main as run_experiments
+
+    return run_experiments(args.names)
+
+
+def _command_validate(args: argparse.Namespace) -> int:
+    config = PROTOTYPE_CONFIG
+    if args.fp16:
+        config = config.with_precision(Precision.FP16)
+    report = validate_against_software(config, num_gaussian_scenes=args.scenes)
+    for case in report.cases:
+        comparison = case.comparison
+        psnr_text = "inf" if comparison.psnr_db == float("inf") else f"{comparison.psnr_db:.1f}"
+        print(f"{case.name:<22s} {case.primitive_type:<9s} "
+              f"PSNR {psnr_text:>6s} dB  SSIM {comparison.ssim:.4f}  "
+              f"{'pass' if case.passed else 'FAIL'}")
+    print(f"overall: {'pass' if report.all_passed else 'FAIL'} "
+          f"({config.precision.value})")
+    return 0 if report.all_passed or args.fp16 else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "evaluate": _command_evaluate,
+        "render": _command_render,
+        "experiments": _command_experiments,
+        "validate": _command_validate,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""Public API of the GauRast reproduction.
+
+The central entry point is :class:`repro.core.gaurast.GauRastSystem`, which
+ties together the functional 3DGS pipeline, the baseline platform model, the
+GauRast hardware model and the CUDA-collaborative schedule.  Typical usage::
+
+    from repro.core import GauRastSystem
+
+    system = GauRastSystem()
+    evaluation = system.evaluate_scene("bicycle")          # paper-scale model
+    print(evaluation.rasterization.speedup)                 # ~21x for bicycle
+
+    image, report = system.render(scene)                    # cycle-level sim
+"""
+
+from repro.core.gaurast import GauRastSystem
+from repro.core.metrics import (
+    EndToEndComparison,
+    RasterizationComparison,
+    SceneEvaluation,
+    arithmetic_mean,
+    geometric_mean,
+)
+
+__all__ = [
+    "EndToEndComparison",
+    "GauRastSystem",
+    "RasterizationComparison",
+    "SceneEvaluation",
+    "arithmetic_mean",
+    "geometric_mean",
+]

@@ -1,0 +1,159 @@
+"""GauRastSystem: the top-level API tying the whole reproduction together.
+
+A :class:`GauRastSystem` owns a baseline platform model (the Jetson Orin NX
+by default), a GauRast hardware configuration, the energy model and the
+CUDA-collaborative schedule.  It answers the questions the paper's
+evaluation asks:
+
+* ``evaluate_scene(name, algorithm)`` — paper-scale, descriptor-driven
+  comparison: baseline vs GauRast rasterization runtime and energy plus
+  end-to-end FPS (Table III, Figs. 10 and 11).
+* ``evaluate_all(algorithm)`` — the same over all seven NeRF-360 scenes.
+* ``render(scene)`` — cycle-level simulation of an actual (scaled-down)
+  :class:`~repro.gaussians.scene.GaussianScene` through the full pipeline
+  with the hardware model executing Stage 3; returns the image and the
+  frame report, and is validated against the functional renderer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.baselines.jetson import JetsonOrinNX
+from repro.core.metrics import (
+    EndToEndComparison,
+    RasterizationComparison,
+    SceneEvaluation,
+)
+from repro.datasets.nerf360 import SceneDescriptor, get_scene, iter_scenes
+from repro.gaussians.pipeline import render as functional_render
+from repro.gaussians.scene import GaussianScene
+from repro.hardware.config import GauRastConfig, SCALED_CONFIG
+from repro.hardware.multi import FrameReport, ScaledGauRast
+from repro.hardware.power import EnergyModel
+from repro.profiling.workload import WorkloadStatistics
+from repro.scheduling.collaborative import schedule_frames
+
+
+@dataclass
+class GauRastSystem:
+    """The GauRast-enhanced SoC model.
+
+    Attributes
+    ----------
+    config:
+        Hardware configuration of the enhanced rasterizer (defaults to the
+        scaled 15-instance design used in the paper's SoC evaluation).
+    baseline:
+        Baseline platform whose CUDA cores run Stages 1-2 (and, for the
+        comparison, the unaccelerated Stage 3).
+    """
+
+    config: GauRastConfig = field(default_factory=lambda: SCALED_CONFIG)
+    baseline: JetsonOrinNX = field(default_factory=JetsonOrinNX)
+
+    def __post_init__(self) -> None:
+        self.rasterizer = ScaledGauRast(self.config)
+        self.energy_model = EnergyModel(self.config)
+
+    # ------------------------------------------------------------------ #
+    # Paper-scale evaluation (descriptor-driven)
+    # ------------------------------------------------------------------ #
+    def evaluate_workload(self, workload: WorkloadStatistics) -> SceneEvaluation:
+        """Evaluate one workload: baseline vs GauRast, runtime and energy."""
+        stage_times = self.baseline.stage_times(workload)
+        estimate = self.rasterizer.estimate(workload)
+
+        baseline_raster_time = stage_times.rasterize
+        gaurast_raster_time = estimate.runtime_seconds
+        baseline_energy = self.baseline.rasterization_energy(workload)
+        gaurast_energy = self.energy_model.frame_energy_j(estimate)
+
+        rasterization = RasterizationComparison(
+            scene_name=workload.scene_name,
+            algorithm=workload.algorithm,
+            baseline_time_s=baseline_raster_time,
+            gaurast_time_s=gaurast_raster_time,
+            baseline_energy_j=baseline_energy,
+            gaurast_energy_j=gaurast_energy,
+        )
+
+        schedule = schedule_frames(stage_times.non_rasterize, gaurast_raster_time)
+        end_to_end = EndToEndComparison(
+            scene_name=workload.scene_name,
+            algorithm=workload.algorithm,
+            baseline_frame_time_s=stage_times.total,
+            gaurast_frame_interval_s=schedule.steady_state_interval,
+            gaurast_frame_latency_s=schedule.frame_latency,
+        )
+        return SceneEvaluation(
+            workload=workload,
+            stage_times=stage_times,
+            rasterization=rasterization,
+            end_to_end=end_to_end,
+            estimate=estimate,
+        )
+
+    def evaluate_scene(
+        self,
+        scene: Union[str, SceneDescriptor],
+        algorithm: str = "original",
+    ) -> SceneEvaluation:
+        """Evaluate one NeRF-360 scene by name or descriptor."""
+        descriptor = scene if isinstance(scene, SceneDescriptor) else get_scene(scene)
+        workload = WorkloadStatistics.from_descriptor(descriptor, algorithm)
+        return self.evaluate_workload(workload)
+
+    def evaluate_all(self, algorithm: str = "original") -> List[SceneEvaluation]:
+        """Evaluate all seven NeRF-360 scenes with one algorithm."""
+        return [
+            self.evaluate_scene(descriptor, algorithm) for descriptor in iter_scenes()
+        ]
+
+    def summary(self, algorithm: str = "original") -> Dict[str, float]:
+        """Average headline metrics over all scenes (the paper's key numbers)."""
+        evaluations = self.evaluate_all(algorithm)
+        count = len(evaluations)
+        return {
+            "mean_raster_speedup": sum(
+                e.rasterization.speedup for e in evaluations
+            )
+            / count,
+            "mean_energy_improvement": sum(
+                e.rasterization.energy_improvement for e in evaluations
+            )
+            / count,
+            "mean_baseline_fps": sum(e.end_to_end.baseline_fps for e in evaluations)
+            / count,
+            "mean_gaurast_fps": sum(e.end_to_end.gaurast_fps for e in evaluations)
+            / count,
+            "mean_end_to_end_speedup": sum(
+                e.end_to_end.speedup for e in evaluations
+            )
+            / count,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Cycle-level rendering of actual scenes
+    # ------------------------------------------------------------------ #
+    def render(
+        self,
+        scene: GaussianScene,
+        camera=None,
+        background=(0.0, 0.0, 0.0),
+    ) -> tuple[np.ndarray, FrameReport]:
+        """Render a scene with the hardware model executing Stage 3.
+
+        Stages 1-2 run through the functional pipeline (they stay on the
+        CUDA cores in the real system); Stage 3 runs on the cycle-level
+        multi-instance simulator.
+        """
+        result = functional_render(
+            scene, camera=camera, background=background, collect_stats=False
+        )
+        return self.rasterizer.simulate_frame(
+            result.projected, result.binning, background=background
+        )

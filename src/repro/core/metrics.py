@@ -1,0 +1,108 @@
+"""Metric containers for the GauRast evaluation.
+
+These dataclasses carry the quantities the paper reports: per-scene
+rasterization runtime and energy with and without GauRast (Table III,
+Fig. 10), end-to-end FPS with and without GauRast (Fig. 11) and the
+per-stage baseline breakdown (Figs. 4/5).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.baselines.gpu_model import StageTimes
+from repro.hardware.multi import RasterizationEstimate
+from repro.profiling.workload import WorkloadStatistics
+
+
+def arithmetic_mean(values: Iterable[float]) -> float:
+    """Arithmetic mean of a non-empty sequence."""
+    values = list(values)
+    if not values:
+        raise ValueError("cannot average an empty sequence")
+    return sum(values) / len(values)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of a non-empty sequence of positive values."""
+    values = list(values)
+    if not values:
+        raise ValueError("cannot average an empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+@dataclass(frozen=True)
+class RasterizationComparison:
+    """Rasterization runtime and energy, baseline vs GauRast (one scene)."""
+
+    scene_name: str
+    algorithm: str
+    baseline_time_s: float
+    gaurast_time_s: float
+    baseline_energy_j: float
+    gaurast_energy_j: float
+
+    @property
+    def speedup(self) -> float:
+        """Rasterization speedup of GauRast over the baseline."""
+        if self.gaurast_time_s == 0:
+            return float("inf")
+        return self.baseline_time_s / self.gaurast_time_s
+
+    @property
+    def energy_improvement(self) -> float:
+        """Rasterization energy-efficiency improvement of GauRast."""
+        if self.gaurast_energy_j == 0:
+            return float("inf")
+        return self.baseline_energy_j / self.gaurast_energy_j
+
+
+@dataclass(frozen=True)
+class EndToEndComparison:
+    """End-to-end frame rate, baseline vs GauRast (one scene)."""
+
+    scene_name: str
+    algorithm: str
+    baseline_frame_time_s: float
+    gaurast_frame_interval_s: float
+    gaurast_frame_latency_s: float
+
+    @property
+    def baseline_fps(self) -> float:
+        """FPS of the unmodified SoC."""
+        return 1.0 / self.baseline_frame_time_s
+
+    @property
+    def gaurast_fps(self) -> float:
+        """Steady-state FPS with GauRast and the collaborative schedule."""
+        return 1.0 / self.gaurast_frame_interval_s
+
+    @property
+    def speedup(self) -> float:
+        """End-to-end speedup (throughput ratio)."""
+        return self.gaurast_fps / self.baseline_fps
+
+
+@dataclass(frozen=True)
+class SceneEvaluation:
+    """Full evaluation of one scene with one algorithm."""
+
+    workload: WorkloadStatistics
+    stage_times: StageTimes
+    rasterization: RasterizationComparison
+    end_to_end: EndToEndComparison
+    estimate: Optional[RasterizationEstimate] = None
+
+    @property
+    def scene_name(self) -> str:
+        """Scene name."""
+        return self.workload.scene_name
+
+    @property
+    def algorithm(self) -> str:
+        """Rendering algorithm ('original' or 'optimized')."""
+        return self.workload.algorithm

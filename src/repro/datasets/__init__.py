@@ -1,0 +1,26 @@
+"""Scene descriptors for the workloads used in the GauRast evaluation.
+
+The paper evaluates on the seven real-world scenes of the NeRF-360 dataset
+rendered with two algorithms: the original 3DGS pipeline [15] and the
+Mini-Splatting efficiency-optimised pipeline [10].  The dataset itself is not
+redistributable, so this package provides per-scene *descriptors* — image
+resolution, trained Gaussian count and measured per-tile workload intensity —
+that drive both the synthetic scene generator and the analytical performance
+models.
+"""
+
+from repro.datasets.nerf360 import (
+    SCENES,
+    SCENE_NAMES,
+    SceneDescriptor,
+    get_scene,
+    iter_scenes,
+)
+
+__all__ = [
+    "SCENES",
+    "SCENE_NAMES",
+    "SceneDescriptor",
+    "get_scene",
+    "iter_scenes",
+]

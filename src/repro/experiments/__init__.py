@@ -1,0 +1,64 @@
+"""Experiment harness: one module per table/figure of the paper's evaluation.
+
+Every module exposes a ``run()`` function returning a structured result and a
+``format_table(result)`` helper producing the human-readable rows the paper
+reports.  The benchmark suite under ``benchmarks/`` wraps each ``run()`` with
+pytest-benchmark; ``python -m repro.experiments`` prints them all.
+
+Experiment index (see DESIGN.md for the full mapping):
+
+========  ==========================================================
+Module    Paper artifact
+========  ==========================================================
+table1    Table I  — rendering methodology comparison
+fig4      Fig. 4   — baseline FPS on the Jetson Orin NX
+fig5      Fig. 5   — per-stage runtime breakdown
+table2    Table II — computational primitives for rasterization
+table3    Table III— rasterization runtime with and without GauRast
+fig9      Fig. 9   — layout and area breakdown
+fig10     Fig. 10  — rasterization speedup and energy efficiency
+fig11     Fig. 11  — end-to-end FPS with and without GauRast
+gscore    Sec. V-C — comparison against the GSCore accelerator
+m2pro     Sec. V-D — compatibility with the Apple M2 Pro GPU
+quality   Sec. V-A — hardware-vs-software output validation (FP32/FP16)
+motive    Sec. I   — desktop GPU vs edge SoC vs edge SoC + GauRast
+sched     ablation — CUDA-collaborative vs serial scheduling
+scaling   ablation — PE/instance scaling sweep
+========  ==========================================================
+"""
+
+from repro.experiments import (
+    fig4_baseline_fps,
+    fig5_breakdown,
+    fig9_area,
+    fig10_speedup,
+    fig11_fps,
+    gscore_compare,
+    m2pro_compare,
+    motivation_platforms,
+    quality_validation,
+    scaling_sweep,
+    scheduling_ablation,
+    table1_methods,
+    table2_primitives,
+    table3_runtime,
+)
+
+ALL_EXPERIMENTS = {
+    "table1": table1_methods,
+    "fig4": fig4_baseline_fps,
+    "fig5": fig5_breakdown,
+    "table2": table2_primitives,
+    "table3": table3_runtime,
+    "fig9": fig9_area,
+    "fig10": fig10_speedup,
+    "fig11": fig11_fps,
+    "gscore": gscore_compare,
+    "m2pro": m2pro_compare,
+    "quality": quality_validation,
+    "motive": motivation_platforms,
+    "sched": scheduling_ablation,
+    "scaling": scaling_sweep,
+}
+
+__all__ = ["ALL_EXPERIMENTS"]

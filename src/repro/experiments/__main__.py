@@ -1,0 +1,38 @@
+"""Run every experiment and print the paper's tables and figures.
+
+Usage::
+
+    python -m repro.experiments             # run everything
+    python -m repro.experiments fig10 table3  # run a subset
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def main(argv=None) -> int:
+    """Run the requested experiments (all by default)."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv:
+        unknown = [name for name in argv if name not in ALL_EXPERIMENTS]
+        if unknown:
+            known = ", ".join(ALL_EXPERIMENTS)
+            print(f"unknown experiment(s): {', '.join(unknown)}; known: {known}")
+            return 1
+        selected = {name: ALL_EXPERIMENTS[name] for name in argv}
+    else:
+        selected = ALL_EXPERIMENTS
+
+    for index, (name, module) in enumerate(selected.items()):
+        if index:
+            print()
+        print(f"=== {name} ===")
+        module.main()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

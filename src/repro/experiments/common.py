@@ -1,0 +1,41 @@
+"""Shared helpers for the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.core.gaurast import GauRastSystem
+from repro.datasets.nerf360 import SCENE_NAMES
+
+#: Canonical scene order used by every per-scene table/figure.
+SCENE_ORDER = SCENE_NAMES
+
+#: Algorithms evaluated by the paper.
+ALGORITHMS = ("original", "optimized")
+
+
+def default_system() -> GauRastSystem:
+    """The system configuration used by every experiment (scaled design)."""
+    return GauRastSystem()
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a simple fixed-width text table."""
+    rows = [[str(cell) for cell in row] for row in rows]
+    headers = [str(h) for h in headers]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    lines: List[str] = [render_row(headers), render_row(["-" * w for w in widths])]
+    lines.extend(render_row(row) for row in rows)
+    return "\n".join(lines)
+
+
+def fmt(value: float, digits: int = 2) -> str:
+    """Format a float with a fixed number of decimals."""
+    return f"{value:.{digits}f}"

@@ -1,0 +1,87 @@
+"""Fig. 10: rasterization speedup and energy-efficiency improvement per scene.
+
+For each NeRF-360 scene and for both the original 3DGS pipeline and the
+efficiency-optimised (Mini-Splatting) pipeline, compares GauRast against the
+CUDA rasterization of the baseline SoC in runtime and energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.gaurast import GauRastSystem
+from repro.core.metrics import SceneEvaluation
+from repro.experiments.common import ALGORITHMS, default_system, fmt, format_table
+
+
+@dataclass(frozen=True)
+class Fig10Result:
+    """Per-scene, per-algorithm speedup and energy improvement."""
+
+    evaluations: Dict[str, List[SceneEvaluation]]
+
+    def speedups(self, algorithm: str) -> Dict[str, float]:
+        """Rasterization speedup per scene for one algorithm."""
+        return {
+            e.scene_name: e.rasterization.speedup
+            for e in self.evaluations[algorithm]
+        }
+
+    def energy_improvements(self, algorithm: str) -> Dict[str, float]:
+        """Energy-efficiency improvement per scene for one algorithm."""
+        return {
+            e.scene_name: e.rasterization.energy_improvement
+            for e in self.evaluations[algorithm]
+        }
+
+    def mean_speedup(self, algorithm: str) -> float:
+        """Average speedup over the scenes for one algorithm."""
+        values = list(self.speedups(algorithm).values())
+        return sum(values) / len(values)
+
+    def mean_energy_improvement(self, algorithm: str) -> float:
+        """Average energy improvement over the scenes for one algorithm."""
+        values = list(self.energy_improvements(algorithm).values())
+        return sum(values) / len(values)
+
+
+def run(system: GauRastSystem | None = None) -> Fig10Result:
+    """Evaluate both algorithms on every scene."""
+    system = system or default_system()
+    return Fig10Result(
+        evaluations={
+            algorithm: system.evaluate_all(algorithm) for algorithm in ALGORITHMS
+        }
+    )
+
+
+def format_result(result: Fig10Result) -> str:
+    """Render Fig. 10's two data series."""
+    scenes = [e.scene_name for e in result.evaluations["original"]]
+    headers = ["Metric"] + scenes + ["mean"]
+    rows = []
+    for algorithm in ALGORITHMS:
+        speedups = result.speedups(algorithm)
+        energy = result.energy_improvements(algorithm)
+        rows.append(
+            [f"{algorithm}: speedup (x)"]
+            + [fmt(speedups[s], 1) for s in scenes]
+            + [fmt(result.mean_speedup(algorithm), 1)]
+        )
+        rows.append(
+            [f"{algorithm}: energy eff. (x)"]
+            + [fmt(energy[s], 1) for s in scenes]
+            + [fmt(result.mean_energy_improvement(algorithm), 1)]
+        )
+    return format_table(headers, rows)
+
+
+def main() -> None:
+    """Print Fig. 10's data series."""
+    print("Fig. 10: rasterization speedup and energy-efficiency improvement")
+    print(format_result(run()))
+
+
+if __name__ == "__main__":
+    main()

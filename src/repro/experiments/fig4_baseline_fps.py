@@ -1,0 +1,78 @@
+"""Fig. 4: throughput of the 3DGS pipeline on the baseline edge SoC.
+
+Reproduces the profiling result that motivates the paper: the unmodified
+Jetson Orin NX at 10 W renders the seven NeRF-360 scenes at only a few
+frames per second with the original 3DGS pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.baselines.jetson import JetsonOrinNX
+from repro.datasets.nerf360 import iter_scenes
+from repro.experiments.common import fmt, format_table
+from repro.profiling.workload import WorkloadStatistics
+
+
+@dataclass(frozen=True)
+class SceneFps:
+    """Baseline frame rate of one scene."""
+
+    scene: str
+    frame_time_s: float
+
+    @property
+    def fps(self) -> float:
+        """Frames per second."""
+        return 1.0 / self.frame_time_s
+
+
+@dataclass(frozen=True)
+class Fig4Result:
+    """Per-scene baseline FPS (original 3DGS pipeline)."""
+
+    entries: List[SceneFps]
+
+    @property
+    def mean_fps(self) -> float:
+        """Average FPS over the scenes."""
+        return sum(e.fps for e in self.entries) / len(self.entries)
+
+    @property
+    def fps_by_scene(self) -> Dict[str, float]:
+        """Scene name to FPS mapping."""
+        return {e.scene: e.fps for e in self.entries}
+
+
+def run(algorithm: str = "original") -> Fig4Result:
+    """Compute the baseline FPS of every NeRF-360 scene."""
+    baseline = JetsonOrinNX()
+    entries = []
+    for descriptor in iter_scenes():
+        workload = WorkloadStatistics.from_descriptor(descriptor, algorithm)
+        entries.append(
+            SceneFps(scene=descriptor.name, frame_time_s=baseline.frame_time(workload))
+        )
+    return Fig4Result(entries=entries)
+
+
+def format_result(result: Fig4Result) -> str:
+    """Render the per-scene FPS series."""
+    headers = ["Scene", "Frame time (ms)", "FPS"]
+    rows = [
+        (e.scene, fmt(e.frame_time_s * 1e3, 1), fmt(e.fps, 2)) for e in result.entries
+    ]
+    rows.append(("mean", "", fmt(result.mean_fps, 2)))
+    return format_table(headers, rows)
+
+
+def main() -> None:
+    """Print Fig. 4's data series."""
+    print("Fig. 4: baseline 3DGS throughput on the Jetson Orin NX (10 W)")
+    print(format_result(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Fig. 5: per-stage runtime breakdown of the baseline 3DGS pipeline.
+
+Reproduces the observation that Gaussian rasterization (Stage 3) dominates
+the frame time (over ~80 %) on the edge SoC, which is what makes it the
+acceleration target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.baselines.jetson import JetsonOrinNX
+from repro.datasets.nerf360 import iter_scenes
+from repro.experiments.common import fmt, format_table
+from repro.profiling.profiler import StageBreakdown, profile_pipeline
+from repro.profiling.workload import WorkloadStatistics
+
+
+@dataclass(frozen=True)
+class Fig5Result:
+    """Per-scene stage breakdowns on the baseline platform."""
+
+    breakdowns: List[StageBreakdown]
+
+    @property
+    def mean_rasterize_fraction(self) -> float:
+        """Average share of the frame spent in rasterization."""
+        return sum(b.rasterize_fraction for b in self.breakdowns) / len(
+            self.breakdowns
+        )
+
+    @property
+    def by_scene(self) -> Dict[str, StageBreakdown]:
+        """Scene name to breakdown mapping."""
+        return {b.scene_name: b for b in self.breakdowns}
+
+
+def run(algorithm: str = "original") -> Fig5Result:
+    """Profile every NeRF-360 scene on the baseline SoC."""
+    baseline = JetsonOrinNX()
+    breakdowns = []
+    for descriptor in iter_scenes():
+        workload = WorkloadStatistics.from_descriptor(descriptor, algorithm)
+        breakdowns.append(profile_pipeline(baseline, workload))
+    return Fig5Result(breakdowns=breakdowns)
+
+
+def format_result(result: Fig5Result) -> str:
+    """Render the per-scene stage shares."""
+    headers = ["Scene", "Preprocess %", "Sort %", "Rasterize %", "Total (ms)"]
+    rows = []
+    for breakdown in result.breakdowns:
+        fractions = breakdown.fractions
+        rows.append(
+            (
+                breakdown.scene_name,
+                fmt(100 * fractions["preprocess"], 1),
+                fmt(100 * fractions["sort"], 1),
+                fmt(100 * fractions["rasterize"], 1),
+                fmt(breakdown.total_s * 1e3, 1),
+            )
+        )
+    rows.append(("mean", "", "", fmt(100 * result.mean_rasterize_fraction, 1), ""))
+    return format_table(headers, rows)
+
+
+def main() -> None:
+    """Print Fig. 5's data series."""
+    print("Fig. 5: runtime breakdown of the baseline 3DGS pipeline")
+    print(format_result(run()))
+
+
+if __name__ == "__main__":
+    main()

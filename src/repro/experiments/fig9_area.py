@@ -1,0 +1,97 @@
+"""Fig. 9: layout and area breakdown of the enhanced rasterizer.
+
+Reproduces the prototype's area breakdown (PE block / tile buffers /
+controller shares of the 16-PE module and the triangle-vs-Gaussian split of
+one PE) and the scaled design's added-area overhead relative to the baseline
+SoC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import fmt, format_table
+from repro.hardware.area import AreaBreakdown, AreaModel, BASELINE_SOC_AREA_MM2
+from repro.hardware.config import PROTOTYPE_CONFIG, SCALED_CONFIG
+
+
+@dataclass(frozen=True)
+class Fig9Result:
+    """Area figures of the prototype module and the scaled design."""
+
+    module: AreaBreakdown
+    scaled_enhanced_mm2: float
+    soc_area_mm2: float
+    soc_overhead_fraction: float
+
+    @property
+    def pe_gaussian_fraction(self) -> float:
+        """Share of one PE occupied by the added Gaussian-only logic."""
+        return self.module.pe.gaussian_fraction
+
+    @property
+    def pe_triangle_fraction(self) -> float:
+        """Share of one PE already present for triangle rasterization."""
+        return 1.0 - self.pe_gaussian_fraction
+
+
+def run() -> Fig9Result:
+    """Compute the area breakdowns of Fig. 9."""
+    prototype = AreaModel(PROTOTYPE_CONFIG)
+    scaled = AreaModel(SCALED_CONFIG)
+    return Fig9Result(
+        module=prototype.module_breakdown(),
+        scaled_enhanced_mm2=scaled.enhanced_area_mm2(),
+        soc_area_mm2=BASELINE_SOC_AREA_MM2,
+        soc_overhead_fraction=scaled.soc_overhead_fraction(),
+    )
+
+
+def format_result(result: Fig9Result) -> str:
+    """Render the area breakdown as text."""
+    module = result.module
+    headers = ["Component", "Area", "Share"]
+    rows = [
+        ("16-PE module", f"{fmt(module.module_mm2, 3)} mm^2", "100%"),
+        (
+            "  PE block",
+            f"{fmt(module.pe_block_um2 / 1e6, 3)} mm^2",
+            f"{fmt(100 * module.pe_block_fraction, 1)}%",
+        ),
+        (
+            "  Tile buffers",
+            f"{fmt(module.tile_buffers_um2 / 1e6, 3)} mm^2",
+            f"{fmt(100 * module.tile_buffer_fraction, 1)}%",
+        ),
+        (
+            "  Controller",
+            f"{fmt(module.controller_um2 / 1e6, 4)} mm^2",
+            f"{fmt(100 * module.controller_fraction, 2)}%",
+        ),
+        (
+            "One PE: pre-existing (triangle)",
+            f"{fmt(module.pe.preexisting_um2, 0)} um^2",
+            f"{fmt(100 * result.pe_triangle_fraction, 1)}%",
+        ),
+        (
+            "One PE: enhanced (Gaussian)",
+            f"{fmt(module.pe.gaussian_only_um2, 0)} um^2",
+            f"{fmt(100 * result.pe_gaussian_fraction, 1)}%",
+        ),
+        (
+            "Scaled design: added area",
+            f"{fmt(result.scaled_enhanced_mm2, 3)} mm^2",
+            f"{fmt(100 * result.soc_overhead_fraction, 2)}% of SoC",
+        ),
+    ]
+    return format_table(headers, rows)
+
+
+def main() -> None:
+    """Print Fig. 9's area data."""
+    print("Fig. 9: layout and area breakdown of the enhanced rasterizer")
+    print(format_result(run()))
+
+
+if __name__ == "__main__":
+    main()

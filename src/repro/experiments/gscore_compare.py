@@ -1,0 +1,109 @@
+"""Section V-C: comparison against the GSCore dedicated accelerator.
+
+GSCore achieves a 20x Gaussian-rasterization speedup over the Jetson Xavier
+NX with a dedicated 3.95 mm^2 FP16 accelerator.  The experiment sizes an
+FP16 re-implementation of GauRast to match GSCore's absolute rasterization
+throughput and compares the *added* silicon area (only the Gaussian-only
+logic, since the rest of the datapath is reused from the triangle
+rasterizer), yielding the area-efficiency advantage the paper reports
+(~24.7x).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.baselines.gscore import GScoreModel
+from repro.experiments.common import fmt, format_table
+from repro.hardware.area import AreaModel
+from repro.hardware.config import GauRastConfig, SCALED_CONFIG
+from repro.hardware.fp import Precision
+
+@dataclass(frozen=True)
+class GScoreComparison:
+    """Outcome of the GSCore area-efficiency comparison."""
+
+    gscore_area_mm2: float
+    gscore_fragments_per_second: float
+    gaurast_instances: int
+    gaurast_pes: int
+    gaurast_added_area_mm2: float
+    gaurast_fragments_per_second: float
+
+    @property
+    def area_efficiency_improvement(self) -> float:
+        """GauRast's area-efficiency advantage at matched throughput."""
+        return self.gscore_area_mm2 / self.gaurast_added_area_mm2
+
+    @property
+    def throughput_ratio(self) -> float:
+        """GauRast throughput relative to GSCore (>= 1 by construction)."""
+        return self.gaurast_fragments_per_second / self.gscore_fragments_per_second
+
+
+def fp16_instance_throughput(config: GauRastConfig) -> float:
+    """Nominal fragments per second of one FP16 GauRast instance.
+
+    One instance applies a primitive to a full tile in
+    ``pixels_per_pe * gaussian_cycles_per_fragment`` cycles.  The sizing is
+    conservative: it matches GSCore's published throughput on nominal
+    fragments and does not credit GauRast's per-pixel early-termination
+    advantage.
+    """
+    cycles_per_key = config.pixels_per_pe * config.gaussian_cycles_per_fragment
+    keys_per_second = config.clock_hz / cycles_per_key
+    return keys_per_second * config.pixels_per_tile
+
+
+def run(base_config: GauRastConfig = SCALED_CONFIG) -> GScoreComparison:
+    """Size an FP16 GauRast to GSCore's throughput and compare added area."""
+    gscore = GScoreModel()
+    fp16 = base_config.with_precision(Precision.FP16)
+
+    per_instance = fp16_instance_throughput(fp16)
+    instances = max(1, math.ceil(gscore.fragments_per_second / per_instance))
+    sized = fp16.with_instances(instances)
+
+    area = AreaModel(sized)
+    return GScoreComparison(
+        gscore_area_mm2=gscore.area_mm2,
+        gscore_fragments_per_second=gscore.fragments_per_second,
+        gaurast_instances=instances,
+        gaurast_pes=sized.total_pes,
+        gaurast_added_area_mm2=area.enhanced_area_mm2(),
+        gaurast_fragments_per_second=per_instance * instances,
+    )
+
+
+def format_result(result: GScoreComparison) -> str:
+    """Render the comparison as text."""
+    headers = ["Design", "Throughput (Gfrag/s)", "Area (mm^2)"]
+    rows = [
+        (
+            "GSCore (dedicated, FP16)",
+            fmt(result.gscore_fragments_per_second / 1e9, 1),
+            fmt(result.gscore_area_mm2, 2),
+        ),
+        (
+            f"GauRast FP16 ({result.gaurast_instances} instances, "
+            f"{result.gaurast_pes} PEs, added area only)",
+            fmt(result.gaurast_fragments_per_second / 1e9, 1),
+            fmt(result.gaurast_added_area_mm2, 3),
+        ),
+    ]
+    table = format_table(headers, rows)
+    return (
+        f"{table}\n"
+        f"area-efficiency improvement: {result.area_efficiency_improvement:.1f}x"
+    )
+
+
+def main() -> None:
+    """Print the Section V-C comparison."""
+    print("Section V-C: comparison against the GSCore accelerator")
+    print(format_result(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+"""Motivation experiment: desktop GPU vs edge SoC vs edge SoC + GauRast.
+
+The introduction frames the problem: 3DGS is real-time (>= 30 FPS) on
+high-power desktop GPUs but manages only 2-5 FPS on 10 W edge platforms.
+This experiment quantifies that contrast with the platform models and shows
+where GauRast lands the edge SoC — most of the desktop's frame rate at two
+orders of magnitude less power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.baselines.desktop import DesktopGpu
+from repro.baselines.jetson import JetsonOrinNX
+from repro.core.gaurast import GauRastSystem
+from repro.datasets.nerf360 import iter_scenes
+from repro.experiments.common import fmt, format_table
+from repro.profiling.workload import WorkloadStatistics
+
+
+@dataclass(frozen=True)
+class PlatformSummary:
+    """Average frame rate and power of one platform over the dataset."""
+
+    platform: str
+    power_w: float
+    mean_fps: float
+
+    @property
+    def fps_per_watt(self) -> float:
+        """Frame-rate efficiency."""
+        return self.mean_fps / self.power_w
+
+
+@dataclass(frozen=True)
+class MotivationResult:
+    """Frame rates of the three platform configurations."""
+
+    desktop: PlatformSummary
+    edge: PlatformSummary
+    edge_with_gaurast: PlatformSummary
+
+    @property
+    def summaries(self) -> List[PlatformSummary]:
+        """All platform summaries, fastest first."""
+        return [self.desktop, self.edge_with_gaurast, self.edge]
+
+
+def run(algorithm: str = "original") -> MotivationResult:
+    """Evaluate the three platforms over all NeRF-360 scenes."""
+    desktop = DesktopGpu()
+    edge = JetsonOrinNX()
+    system = GauRastSystem()
+
+    desktop_fps = []
+    edge_fps = []
+    gaurast_fps = []
+    for descriptor in iter_scenes():
+        workload = WorkloadStatistics.from_descriptor(descriptor, algorithm)
+        desktop_fps.append(desktop.fps(workload))
+        edge_fps.append(edge.fps(workload))
+        gaurast_fps.append(
+            system.evaluate_workload(workload).end_to_end.gaurast_fps
+        )
+
+    count = len(desktop_fps)
+    return MotivationResult(
+        desktop=PlatformSummary(
+            platform=desktop.name, power_w=desktop.power_w,
+            mean_fps=sum(desktop_fps) / count,
+        ),
+        edge=PlatformSummary(
+            platform=edge.name, power_w=edge.power_limit_w,
+            mean_fps=sum(edge_fps) / count,
+        ),
+        edge_with_gaurast=PlatformSummary(
+            platform=f"{edge.name}+gaurast", power_w=edge.power_limit_w,
+            mean_fps=sum(gaurast_fps) / count,
+        ),
+    )
+
+
+def format_result(result: MotivationResult) -> str:
+    """Render the platform comparison as text."""
+    headers = ["Platform", "Power (W)", "Mean FPS", "FPS/W"]
+    rows = [
+        (s.platform, fmt(s.power_w, 0), fmt(s.mean_fps, 1), fmt(s.fps_per_watt, 2))
+        for s in result.summaries
+    ]
+    return format_table(headers, rows)
+
+
+def main() -> None:
+    """Print the motivation comparison."""
+    result = run()
+    print("Motivation: desktop GPU vs edge SoC vs edge SoC with GauRast")
+    print(format_result(result))
+    print(
+        f"GauRast recovers {result.edge_with_gaurast.mean_fps / result.desktop.mean_fps:.0%} "
+        f"of the desktop frame rate at {result.edge.power_w / result.desktop.power_w:.1%} "
+        "of its power."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+"""Ablation: benefit of the CUDA-collaborative (pipelined) schedule of Fig. 8.
+
+Compares, per scene, the end-to-end frame rate with GauRast under the
+pipelined schedule (Stages 1-2 of frame ``i + 1`` overlap Stage 3 of frame
+``i``) against a serial schedule that runs the stages back to back.  The
+difference quantifies how much of the end-to-end speedup comes from the
+scheduling strategy rather than from the faster rasterizer alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.gaurast import GauRastSystem
+from repro.experiments.common import default_system, fmt, format_table
+from repro.scheduling.collaborative import schedule_frames, serial_schedule
+
+
+@dataclass(frozen=True)
+class SchedulingRow:
+    """Pipelined vs serial scheduling outcome for one scene."""
+
+    scene: str
+    stage12_ms: float
+    stage3_ms: float
+    serial_fps: float
+    pipelined_fps: float
+
+    @property
+    def pipelining_gain(self) -> float:
+        """Throughput gain of the pipelined schedule over the serial one."""
+        return self.pipelined_fps / self.serial_fps
+
+
+@dataclass(frozen=True)
+class SchedulingAblationResult:
+    """Per-scene scheduling ablation."""
+
+    rows: List[SchedulingRow]
+
+    @property
+    def mean_gain(self) -> float:
+        """Average pipelining gain over the scenes."""
+        return sum(r.pipelining_gain for r in self.rows) / len(self.rows)
+
+
+def run(
+    algorithm: str = "original", system: GauRastSystem | None = None
+) -> SchedulingAblationResult:
+    """Evaluate the scheduling ablation on every scene."""
+    system = system or default_system()
+    rows = []
+    for evaluation in system.evaluate_all(algorithm):
+        stage12 = evaluation.stage_times.non_rasterize
+        stage3 = evaluation.rasterization.gaurast_time_s
+        pipelined = schedule_frames(stage12, stage3)
+        serial = serial_schedule(stage12, stage3)
+        rows.append(
+            SchedulingRow(
+                scene=evaluation.scene_name,
+                stage12_ms=stage12 * 1e3,
+                stage3_ms=stage3 * 1e3,
+                serial_fps=serial.fps,
+                pipelined_fps=pipelined.fps,
+            )
+        )
+    return SchedulingAblationResult(rows=rows)
+
+
+def format_result(result: SchedulingAblationResult) -> str:
+    """Render the ablation as text."""
+    headers = [
+        "Scene",
+        "Stage 1-2 (ms)",
+        "Stage 3 (ms)",
+        "Serial FPS",
+        "Pipelined FPS",
+        "Gain",
+    ]
+    rows = [
+        (
+            r.scene,
+            fmt(r.stage12_ms, 1),
+            fmt(r.stage3_ms, 1),
+            fmt(r.serial_fps, 1),
+            fmt(r.pipelined_fps, 1),
+            fmt(r.pipelining_gain, 2),
+        )
+        for r in result.rows
+    ]
+    table = format_table(headers, rows)
+    return f"{table}\nmean pipelining gain: {result.mean_gain:.2f}x"
+
+
+def main() -> None:
+    """Print the scheduling ablation."""
+    print("Ablation: CUDA-collaborative vs serial scheduling")
+    print(format_result(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,146 @@
+"""Table II: computational primitives for triangle and Gaussian rasterization.
+
+The table lists, per rasterization subtask, the operator types each
+primitive requires, the shared input/output width (9 FP numbers in, 3 out),
+and is the argument for reusing the triangle rasterizer's datapath.  The
+reproduction derives the rows directly from the PE model's subtask operation
+tables, so the table stays consistent with what the hardware model actually
+computes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.experiments.common import format_table
+from repro.gaussians.gaussian import RASTER_INPUT_WIDTH
+from repro.hardware.pe import (
+    GAUSSIAN_SUBTASK_OPS,
+    TRIANGLE_SUBTASK_OPS,
+    subtask_totals,
+)
+
+#: Human-readable subtask names, aligned between the two primitive types as
+#: in Table II (subtask index -> (triangle name, gaussian name)).
+SUBTASK_NAMES: List[Tuple[str, str, str, str]] = [
+    ("1", "coordinate_shift", "Coordinate Shift", "Coordinate Shift"),
+    ("2", "intersection", "Intersection Detection", "Gaussian Probability Computation"),
+    ("3", "uv_weight", "UV Weight Computation", "Color Weight Computation"),
+    ("4", "depth_hold", "Min-Depth Color Hold", "Color Accumulation"),
+]
+
+#: Gaussian subtask keys in the same order.
+GAUSSIAN_SUBTASK_KEYS = ["coordinate_shift", "probability", "color_weight", "accumulation"]
+
+
+def _operator_set(ops: Dict[str, int]) -> str:
+    order = ["add", "mul", "div", "exp"]
+    names = {"add": "ADD", "mul": "MUL", "div": "DIV", "exp": "EXP"}
+    return ", ".join(names[kind] for kind in order if ops.get(kind, 0) > 0)
+
+
+@dataclass(frozen=True)
+class SubtaskRow:
+    """One subtask row of Table II."""
+
+    index: str
+    triangle_name: str
+    triangle_operators: str
+    triangle_ops: Dict[str, int]
+    gaussian_name: str
+    gaussian_operators: str
+    gaussian_ops: Dict[str, int]
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    """The full computational-primitives table."""
+
+    input_width: int
+    output_width: int
+    rows: List[SubtaskRow]
+    triangle_totals: Dict[str, int]
+    gaussian_totals: Dict[str, int]
+
+    @property
+    def triangle_needs_div(self) -> bool:
+        """Triangle rasterization requires a divider."""
+        return self.triangle_totals.get("div", 0) > 0
+
+    @property
+    def gaussian_needs_exp(self) -> bool:
+        """Gaussian rasterization requires an exponentiation unit."""
+        return self.gaussian_totals.get("exp", 0) > 0
+
+
+def run() -> Table2Result:
+    """Build Table II from the PE model's subtask definitions."""
+    rows = []
+    for (index, triangle_key, triangle_name, gaussian_name), gaussian_key in zip(
+        SUBTASK_NAMES, GAUSSIAN_SUBTASK_KEYS
+    ):
+        triangle_ops = TRIANGLE_SUBTASK_OPS[triangle_key]
+        gaussian_ops = GAUSSIAN_SUBTASK_OPS[gaussian_key]
+        rows.append(
+            SubtaskRow(
+                index=index,
+                triangle_name=triangle_name,
+                triangle_operators=_operator_set(triangle_ops),
+                triangle_ops=dict(triangle_ops),
+                gaussian_name=gaussian_name,
+                gaussian_operators=_operator_set(gaussian_ops),
+                gaussian_ops=dict(gaussian_ops),
+            )
+        )
+    return Table2Result(
+        input_width=RASTER_INPUT_WIDTH,
+        output_width=3,
+        rows=rows,
+        triangle_totals=subtask_totals(TRIANGLE_SUBTASK_OPS),
+        gaussian_totals=subtask_totals(GAUSSIAN_SUBTASK_OPS),
+    )
+
+
+def format_result(result: Table2Result) -> str:
+    """Render Table II as text."""
+    headers = ["Subtask", "Triangle Rasterization", "Operators", "Gaussian Rasterization", "Operators"]
+    rows = [
+        (
+            "Input",
+            "Vertices' Coordinates",
+            f"{result.input_width} FP numbers",
+            "Sigma, o, mu, c",
+            f"{result.input_width} FP numbers",
+        )
+    ]
+    for row in result.rows:
+        rows.append(
+            (
+                row.index,
+                row.triangle_name,
+                row.triangle_operators,
+                row.gaussian_name,
+                row.gaussian_operators,
+            )
+        )
+    rows.append(
+        (
+            "Output",
+            "UV Weight, Depth",
+            f"{result.output_width} FP numbers",
+            "Accumulated Color",
+            f"{result.output_width} FP numbers",
+        )
+    )
+    return format_table(headers, rows)
+
+
+def main() -> None:
+    """Print Table II."""
+    print("Table II: computational primitives for rasterization")
+    print(format_result(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Table III: absolute rasterization runtime with and without GauRast.
+
+Per NeRF-360 scene (original 3DGS pipeline): the CUDA rasterization time on
+the baseline Jetson Orin NX versus the GauRast rasterization time of the
+scaled 15-instance design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.gaurast import GauRastSystem
+from repro.core.metrics import SceneEvaluation
+from repro.experiments.common import default_system, fmt, format_table
+
+
+@dataclass(frozen=True)
+class Table3Result:
+    """Per-scene rasterization runtimes, baseline vs GauRast."""
+
+    evaluations: List[SceneEvaluation]
+
+    @property
+    def baseline_ms(self) -> Dict[str, float]:
+        """Baseline rasterization time per scene, in milliseconds."""
+        return {
+            e.scene_name: e.rasterization.baseline_time_s * 1e3
+            for e in self.evaluations
+        }
+
+    @property
+    def gaurast_ms(self) -> Dict[str, float]:
+        """GauRast rasterization time per scene, in milliseconds."""
+        return {
+            e.scene_name: e.rasterization.gaurast_time_s * 1e3
+            for e in self.evaluations
+        }
+
+    @property
+    def mean_speedup(self) -> float:
+        """Average rasterization speedup over the scenes."""
+        speedups = [e.rasterization.speedup for e in self.evaluations]
+        return sum(speedups) / len(speedups)
+
+
+def run(
+    algorithm: str = "original", system: GauRastSystem | None = None
+) -> Table3Result:
+    """Evaluate rasterization runtimes for every scene."""
+    system = system or default_system()
+    return Table3Result(evaluations=system.evaluate_all(algorithm))
+
+
+def format_result(result: Table3Result) -> str:
+    """Render Table III as text."""
+    scenes = [e.scene_name for e in result.evaluations]
+    headers = ["Row"] + scenes
+    baseline = result.baseline_ms
+    gaurast = result.gaurast_ms
+    rows = [
+        ["Baseline (ms)"] + [fmt(baseline[s], 1) for s in scenes],
+        ["GauRast (ms)"] + [fmt(gaurast[s], 1) for s in scenes],
+        ["Speedup (x)"]
+        + [fmt(baseline[s] / gaurast[s], 1) for s in scenes],
+    ]
+    return format_table(headers, rows)
+
+
+def main() -> None:
+    """Print Table III."""
+    result = run()
+    print("Table III: absolute rasterization runtime w/ and w/o GauRast")
+    print(format_result(result))
+    print(f"mean speedup: {result.mean_speedup:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Frustum culling of 3D Gaussians.
+
+Preprocessing discards Gaussians that cannot contribute to the image before
+paying for the full projection: Gaussians behind the near plane or far
+outside the viewing frustum are removed.  The reference implementation uses
+a slightly padded frustum (1.3x the field of view) so that Gaussians whose
+centre is just outside the image but whose footprint extends into it are
+kept; the same padding is used here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gaussians.camera import Camera
+
+#: Padding factor applied to the view frustum, matching the reference 3DGS
+#: rasterizer which keeps Gaussians within 1.3x the field of view.
+FRUSTUM_PADDING = 1.3
+
+
+def frustum_cull_mask(camera: Camera, positions: np.ndarray) -> np.ndarray:
+    """Return a boolean mask of Gaussians that survive frustum culling.
+
+    Parameters
+    ----------
+    camera:
+        The rendering camera.
+    positions:
+        ``(N, 3)`` world-space Gaussian centres.
+
+    Returns
+    -------
+    ``(N,)`` boolean array, ``True`` for Gaussians to keep.
+    """
+    cam_points = camera.to_camera_space(positions)
+    depths = cam_points[:, 2]
+
+    in_front = depths > camera.znear
+    within_far = depths < camera.zfar
+
+    tan_x, tan_y = camera.tan_half_fov
+    safe_z = np.where(depths <= 0, np.inf, depths)
+    within_x = np.abs(cam_points[:, 0]) <= FRUSTUM_PADDING * tan_x * safe_z
+    within_y = np.abs(cam_points[:, 1]) <= FRUSTUM_PADDING * tan_y * safe_z
+
+    return in_front & within_far & within_x & within_y
+
+
+def cull(camera: Camera, positions: np.ndarray) -> np.ndarray:
+    """Return the indices of Gaussians that survive frustum culling."""
+    mask = frustum_cull_mask(camera, positions)
+    return np.nonzero(mask)[0]

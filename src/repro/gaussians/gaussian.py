@@ -1,0 +1,254 @@
+"""Data structures for 3D and projected (2D) Gaussians.
+
+Both containers use a structure-of-arrays layout backed by NumPy so that the
+functional pipeline can process millions of Gaussians without Python-level
+loops.  A :class:`GaussianCloud` holds the trained 3D representation; a
+:class:`ProjectedGaussians` holds the per-frame 2D representation produced by
+the preprocessing stage (Step 1 in Fig. 3 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+#: Number of scalar parameters of one projected Gaussian consumed by the
+#: rasterizer: the 2x2 covariance inverse (3 unique values because it is
+#: symmetric), opacity, the 2D centre (2) and the RGB colour (3).  This is
+#: the "9 FP numbers" input width of Table II.
+RASTER_INPUT_WIDTH = 9
+
+
+def _as_float_array(values, name: str, shape_suffix) -> np.ndarray:
+    array = np.asarray(values, dtype=np.float64)
+    if array.ndim == 0:
+        raise ValueError(f"{name} must be an array, got a scalar")
+    if shape_suffix and array.shape[1:] != shape_suffix:
+        raise ValueError(
+            f"{name} must have trailing shape {shape_suffix}, got {array.shape}"
+        )
+    return array
+
+
+@dataclass
+class GaussianCloud:
+    """A trained 3D Gaussian scene representation.
+
+    Attributes
+    ----------
+    positions:
+        ``(N, 3)`` Gaussian centres in world space.
+    scales:
+        ``(N, 3)`` per-axis standard deviations of each Gaussian ellipsoid.
+    rotations:
+        ``(N, 4)`` unit quaternions ``(w, x, y, z)`` orienting each ellipsoid.
+    opacities:
+        ``(N,)`` opacity ``o`` of each Gaussian in ``[0, 1]``.
+    sh_coeffs:
+        ``(N, K, 3)`` spherical-harmonics colour coefficients, where ``K`` is
+        ``(degree + 1) ** 2`` (1, 4, 9 or 16).
+    """
+
+    positions: np.ndarray
+    scales: np.ndarray
+    rotations: np.ndarray
+    opacities: np.ndarray
+    sh_coeffs: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.positions = _as_float_array(self.positions, "positions", (3,))
+        self.scales = _as_float_array(self.scales, "scales", (3,))
+        self.rotations = _as_float_array(self.rotations, "rotations", (4,))
+        self.opacities = np.asarray(self.opacities, dtype=np.float64).reshape(-1)
+        self.sh_coeffs = np.asarray(self.sh_coeffs, dtype=np.float64)
+
+        n = len(self.positions)
+        for name, array in (
+            ("scales", self.scales),
+            ("rotations", self.rotations),
+            ("opacities", self.opacities),
+            ("sh_coeffs", self.sh_coeffs),
+        ):
+            if len(array) != n:
+                raise ValueError(
+                    f"{name} has {len(array)} entries but positions has {n}"
+                )
+        if self.sh_coeffs.ndim != 3 or self.sh_coeffs.shape[2] != 3:
+            raise ValueError("sh_coeffs must have shape (N, K, 3)")
+        if self.sh_coeffs.shape[1] not in (1, 4, 9, 16):
+            raise ValueError(
+                "sh_coeffs second dimension must be 1, 4, 9 or 16 "
+                f"(got {self.sh_coeffs.shape[1]})"
+            )
+        if np.any(self.scales <= 0):
+            raise ValueError("scales must be strictly positive")
+        if np.any(self.opacities < 0) or np.any(self.opacities > 1):
+            raise ValueError("opacities must lie in [0, 1]")
+
+    def __len__(self) -> int:
+        return len(self.positions)
+
+    @property
+    def sh_degree(self) -> int:
+        """Spherical-harmonics degree implied by the coefficient count."""
+        return int(np.sqrt(self.sh_coeffs.shape[1])) - 1
+
+    def subset(self, indices) -> "GaussianCloud":
+        """Return a new cloud containing only ``indices`` (keeps order)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return GaussianCloud(
+            positions=self.positions[indices],
+            scales=self.scales[indices],
+            rotations=self.rotations[indices],
+            opacities=self.opacities[indices],
+            sh_coeffs=self.sh_coeffs[indices],
+        )
+
+    def covariances(self) -> np.ndarray:
+        """Return the ``(N, 3, 3)`` world-space covariance matrices.
+
+        The covariance of each Gaussian is ``R @ S @ S^T @ R^T`` where ``R``
+        is the rotation matrix of the quaternion and ``S`` the diagonal scale
+        matrix, exactly as in the reference 3DGS implementation.
+        """
+        rot = quaternion_to_rotation_matrix(self.rotations)
+        scaled = rot * self.scales[:, np.newaxis, :]
+        return scaled @ np.transpose(scaled, (0, 2, 1))
+
+
+def quaternion_to_rotation_matrix(quaternions: np.ndarray) -> np.ndarray:
+    """Convert ``(N, 4)`` quaternions ``(w, x, y, z)`` to rotation matrices.
+
+    Quaternions are normalised before conversion, so callers may pass
+    unnormalised values.
+    """
+    q = np.asarray(quaternions, dtype=np.float64)
+    if q.ndim == 1:
+        q = q[np.newaxis, :]
+    norms = np.linalg.norm(q, axis=1, keepdims=True)
+    if np.any(norms == 0):
+        raise ValueError("quaternions must be non-zero")
+    w, x, y, z = (q / norms).T
+
+    matrices = np.empty((len(q), 3, 3), dtype=np.float64)
+    matrices[:, 0, 0] = 1 - 2 * (y * y + z * z)
+    matrices[:, 0, 1] = 2 * (x * y - w * z)
+    matrices[:, 0, 2] = 2 * (x * z + w * y)
+    matrices[:, 1, 0] = 2 * (x * y + w * z)
+    matrices[:, 1, 1] = 1 - 2 * (x * x + z * z)
+    matrices[:, 1, 2] = 2 * (y * z - w * x)
+    matrices[:, 2, 0] = 2 * (x * z - w * y)
+    matrices[:, 2, 1] = 2 * (y * z + w * x)
+    matrices[:, 2, 2] = 1 - 2 * (x * x + y * y)
+    return matrices
+
+
+@dataclass
+class ProjectedGaussians:
+    """Per-frame 2D Gaussians produced by the preprocessing stage.
+
+    Attributes
+    ----------
+    means:
+        ``(M, 2)`` screen-space centres ``mu`` in pixel coordinates.
+    cov_inverses:
+        ``(M, 3)`` packed inverse 2D covariances ``(a, b, c)`` representing
+        the symmetric matrix ``[[a, b], [b, c]]`` (the "conic" of the
+        reference implementation).
+    depths:
+        ``(M,)`` view-space depth of each Gaussian.
+    colors:
+        ``(M, 3)`` RGB colour of each Gaussian for this view.
+    opacities:
+        ``(M,)`` opacity ``o``.
+    radii:
+        ``(M,)`` conservative screen-space radius, in pixels, used for tile
+        binning.
+    source_indices:
+        ``(M,)`` index of the originating Gaussian in the input cloud, or
+        ``None`` when the projection did not track provenance.
+    """
+
+    means: np.ndarray
+    cov_inverses: np.ndarray
+    depths: np.ndarray
+    colors: np.ndarray
+    opacities: np.ndarray
+    radii: np.ndarray
+    source_indices: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        self.means = _as_float_array(self.means, "means", (2,))
+        self.cov_inverses = _as_float_array(self.cov_inverses, "cov_inverses", (3,))
+        self.depths = np.asarray(self.depths, dtype=np.float64).reshape(-1)
+        self.colors = _as_float_array(self.colors, "colors", (3,))
+        self.opacities = np.asarray(self.opacities, dtype=np.float64).reshape(-1)
+        self.radii = np.asarray(self.radii, dtype=np.float64).reshape(-1)
+        if self.source_indices is not None:
+            self.source_indices = np.asarray(self.source_indices, dtype=np.int64)
+
+        n = len(self.means)
+        for name, array in (
+            ("cov_inverses", self.cov_inverses),
+            ("depths", self.depths),
+            ("colors", self.colors),
+            ("opacities", self.opacities),
+            ("radii", self.radii),
+        ):
+            if len(array) != n:
+                raise ValueError(f"{name} has {len(array)} entries but means has {n}")
+        if self.source_indices is not None and len(self.source_indices) != n:
+            raise ValueError("source_indices length mismatch")
+
+    def __len__(self) -> int:
+        return len(self.means)
+
+    def subset(self, indices) -> "ProjectedGaussians":
+        """Return a new container holding only ``indices`` (keeps order)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        source = None
+        if self.source_indices is not None:
+            source = self.source_indices[indices]
+        return ProjectedGaussians(
+            means=self.means[indices],
+            cov_inverses=self.cov_inverses[indices],
+            depths=self.depths[indices],
+            colors=self.colors[indices],
+            opacities=self.opacities[indices],
+            radii=self.radii[indices],
+            source_indices=source,
+        )
+
+    def raster_inputs(self) -> np.ndarray:
+        """Pack the 9 floating-point rasterizer inputs of Table II.
+
+        Returns an ``(M, 9)`` array laid out as
+        ``[conic_a, conic_b, conic_c, opacity, mu_x, mu_y, r, g, b]`` — the
+        exact operand bundle a PE receives per Gaussian.
+        """
+        packed = np.concatenate(
+            [
+                self.cov_inverses,
+                self.opacities[:, np.newaxis],
+                self.means,
+                self.colors,
+            ],
+            axis=1,
+        )
+        assert packed.shape[1] == RASTER_INPUT_WIDTH
+        return packed
+
+    @classmethod
+    def empty(cls) -> "ProjectedGaussians":
+        """Return an empty container (useful when culling removes everything)."""
+        return cls(
+            means=np.zeros((0, 2)),
+            cov_inverses=np.zeros((0, 3)),
+            depths=np.zeros(0),
+            colors=np.zeros((0, 3)),
+            opacities=np.zeros(0),
+            radii=np.zeros(0),
+            source_indices=np.zeros(0, dtype=np.int64),
+        )

@@ -1,0 +1,131 @@
+"""Scene serialisation: save and load Gaussian scenes.
+
+Trained 3DGS checkpoints are normally stored as PLY files; this reproduction
+uses NumPy ``.npz`` archives with an equivalent field layout so scenes built
+by the synthetic generator (or pruned by the Mini-Splatting pass) can be
+persisted, shared between the examples and reloaded without re-generation.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.gaussians.camera import Camera
+from repro.gaussians.gaussian import GaussianCloud
+from repro.gaussians.scene import GaussianScene
+
+#: Format identifier stored inside every archive.
+FORMAT_VERSION = 1
+
+
+def save_scene(scene: GaussianScene, path: Union[str, Path]) -> Path:
+    """Serialise a scene (cloud plus cameras) to an ``.npz`` archive.
+
+    Returns the path written (with the ``.npz`` suffix enforced).
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+
+    cameras = [
+        {
+            "width": camera.width,
+            "height": camera.height,
+            "fx": camera.fx,
+            "fy": camera.fy,
+            "cx": camera.cx,
+            "cy": camera.cy,
+            "znear": camera.znear,
+            "zfar": camera.zfar,
+        }
+        for camera in scene.cameras
+    ]
+    metadata = {
+        "format_version": FORMAT_VERSION,
+        "name": scene.name,
+        "descriptor_name": scene.descriptor_name,
+        "cameras": cameras,
+    }
+    poses = np.stack([camera.world_to_camera for camera in scene.cameras])
+
+    cloud = scene.cloud
+    np.savez_compressed(
+        path,
+        metadata=json.dumps(metadata),
+        positions=cloud.positions,
+        scales=cloud.scales,
+        rotations=cloud.rotations,
+        opacities=cloud.opacities,
+        sh_coeffs=cloud.sh_coeffs,
+        camera_poses=poses,
+    )
+    return path
+
+
+def load_scene(path: Union[str, Path]) -> GaussianScene:
+    """Load a scene previously written by :func:`save_scene`."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"scene archive not found: {path}")
+
+    with np.load(path, allow_pickle=False) as archive:
+        metadata = json.loads(str(archive["metadata"]))
+        if metadata.get("format_version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported scene format version {metadata.get('format_version')!r}"
+            )
+        cloud = GaussianCloud(
+            positions=archive["positions"],
+            scales=archive["scales"],
+            rotations=archive["rotations"],
+            opacities=archive["opacities"],
+            sh_coeffs=archive["sh_coeffs"],
+        )
+        poses = archive["camera_poses"]
+
+    cameras = []
+    for camera_info, pose in zip(metadata["cameras"], poses):
+        cameras.append(
+            Camera(
+                width=int(camera_info["width"]),
+                height=int(camera_info["height"]),
+                fx=float(camera_info["fx"]),
+                fy=float(camera_info["fy"]),
+                cx=float(camera_info["cx"]),
+                cy=float(camera_info["cy"]),
+                world_to_camera=pose,
+                znear=float(camera_info["znear"]),
+                zfar=float(camera_info["zfar"]),
+            )
+        )
+    return GaussianScene(
+        cloud=cloud,
+        cameras=cameras,
+        name=metadata.get("name", "scene"),
+        descriptor_name=metadata.get("descriptor_name"),
+    )
+
+
+def save_image_ppm(image: np.ndarray, path: Union[str, Path]) -> Path:
+    """Write an RGB float image (values in [0, 1+]) as a binary PPM file.
+
+    PPM needs no imaging dependency and is sufficient for inspecting the
+    example outputs.
+    """
+    path = Path(path)
+    if path.suffix != ".ppm":
+        path = path.with_suffix(".ppm")
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim != 3 or image.shape[2] != 3:
+        raise ValueError("image must have shape (H, W, 3)")
+    clipped = np.clip(image, 0.0, 1.0)
+    data = (clipped * 255.0 + 0.5).astype(np.uint8)
+    height, width = data.shape[:2]
+    with open(path, "wb") as handle:
+        handle.write(f"P6\n{width} {height}\n255\n".encode("ascii"))
+        handle.write(data.tobytes())
+    return path

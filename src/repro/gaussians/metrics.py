@@ -1,0 +1,127 @@
+"""Image-quality metrics used to validate rendering equivalence.
+
+Section V-A of the paper validates the hardware implementation by checking
+that its rendered output "matches perfectly without any loss in rendering
+quality" against the software renderers.  This module provides the standard
+metrics for that comparison — MSE, PSNR and a single-scale SSIM — plus a
+small report container used by the validation harness and the quality
+experiment (which also quantifies the FP16 variant's quality impact).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def mse(reference: np.ndarray, test: np.ndarray) -> float:
+    """Mean squared error between two images of identical shape."""
+    reference = np.asarray(reference, dtype=np.float64)
+    test = np.asarray(test, dtype=np.float64)
+    if reference.shape != test.shape:
+        raise ValueError(
+            f"image shapes differ: {reference.shape} vs {test.shape}"
+        )
+    if reference.size == 0:
+        raise ValueError("images must be non-empty")
+    return float(np.mean((reference - test) ** 2))
+
+
+def psnr(reference: np.ndarray, test: np.ndarray, data_range: float = 1.0) -> float:
+    """Peak signal-to-noise ratio in dB (``inf`` for identical images)."""
+    if data_range <= 0:
+        raise ValueError("data_range must be positive")
+    error = mse(reference, test)
+    if error == 0.0:
+        return float("inf")
+    return float(10.0 * np.log10((data_range * data_range) / error))
+
+
+def _box_filter(image: np.ndarray, radius: int) -> np.ndarray:
+    """Mean filter with a square window, implemented with cumulative sums."""
+    if radius == 0:
+        return image
+    padded = np.pad(image, ((radius, radius), (radius, radius)), mode="reflect")
+    cumulative = np.cumsum(np.cumsum(padded, axis=0), axis=1)
+    cumulative = np.pad(cumulative, ((1, 0), (1, 0)))
+    size = 2 * radius + 1
+    height, width = image.shape
+    total = (
+        cumulative[size : size + height, size : size + width]
+        - cumulative[:height, size : size + width]
+        - cumulative[size : size + height, :width]
+        + cumulative[:height, :width]
+    )
+    return total / (size * size)
+
+
+def ssim(
+    reference: np.ndarray,
+    test: np.ndarray,
+    data_range: float = 1.0,
+    window_radius: int = 3,
+) -> float:
+    """Single-scale structural similarity index (mean over pixels and channels).
+
+    Uses a uniform (box) window rather than the Gaussian window of the
+    original SSIM definition, which is accurate enough for regression
+    checking of near-identical renders and keeps the implementation
+    dependency-free.
+    """
+    reference = np.asarray(reference, dtype=np.float64)
+    test = np.asarray(test, dtype=np.float64)
+    if reference.shape != test.shape:
+        raise ValueError("image shapes differ")
+    if reference.ndim == 2:
+        reference = reference[:, :, np.newaxis]
+        test = test[:, :, np.newaxis]
+    if data_range <= 0:
+        raise ValueError("data_range must be positive")
+
+    c1 = (0.01 * data_range) ** 2
+    c2 = (0.03 * data_range) ** 2
+    values = []
+    for channel in range(reference.shape[2]):
+        x = reference[:, :, channel]
+        y = test[:, :, channel]
+        mu_x = _box_filter(x, window_radius)
+        mu_y = _box_filter(y, window_radius)
+        sigma_x = _box_filter(x * x, window_radius) - mu_x * mu_x
+        sigma_y = _box_filter(y * y, window_radius) - mu_y * mu_y
+        sigma_xy = _box_filter(x * y, window_radius) - mu_x * mu_y
+        numerator = (2 * mu_x * mu_y + c1) * (2 * sigma_xy + c2)
+        denominator = (mu_x ** 2 + mu_y ** 2 + c1) * (sigma_x + sigma_y + c2)
+        values.append(np.mean(numerator / denominator))
+    return float(np.mean(values))
+
+
+@dataclass(frozen=True)
+class ImageComparison:
+    """Quality comparison of a test image against a reference."""
+
+    mse: float
+    psnr_db: float
+    ssim: float
+    max_abs_error: float
+
+    @property
+    def is_lossless(self) -> bool:
+        """Whether the two images are numerically indistinguishable."""
+        return self.max_abs_error < 1e-6
+
+    def meets(self, min_psnr_db: float = 40.0, min_ssim: float = 0.99) -> bool:
+        """Whether the comparison clears the given quality thresholds."""
+        return self.psnr_db >= min_psnr_db and self.ssim >= min_ssim
+
+
+def compare_images(reference: np.ndarray, test: np.ndarray) -> ImageComparison:
+    """Compute the full quality comparison between two images."""
+    reference = np.asarray(reference, dtype=np.float64)
+    test = np.asarray(test, dtype=np.float64)
+    return ImageComparison(
+        mse=mse(reference, test),
+        psnr_db=psnr(reference, test),
+        ssim=ssim(reference, test),
+        max_abs_error=float(np.max(np.abs(reference - test))) if reference.size else 0.0,
+    )

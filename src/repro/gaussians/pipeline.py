@@ -1,0 +1,99 @@
+"""End-to-end functional 3DGS rendering pipeline.
+
+Chains the three stages (preprocess, sort, rasterize) into a single call and
+returns both the rendered image and the per-stage workload statistics that
+drive the performance models.  This module is the software "golden" pipeline;
+``repro.core`` exposes the same flow with the GauRast hardware model plugged
+in for Stage 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.gaussians.camera import Camera
+from repro.gaussians.gaussian import ProjectedGaussians
+from repro.gaussians.projection import PreprocessStats, preprocess
+from repro.gaussians.rasterize import RasterStats, rasterize_tiles
+from repro.gaussians.scene import GaussianScene
+from repro.gaussians.sorting import TileBinning, bin_and_sort
+from repro.gaussians.tiles import TileGrid
+
+
+@dataclass
+class RenderResult:
+    """Output of a functional 3DGS render.
+
+    Attributes
+    ----------
+    image:
+        ``(height, width, 3)`` RGB image in linear [0, 1+] range.
+    projected:
+        The 2D Gaussians produced by preprocessing (Stage 1 output).
+    binning:
+        Tile lists produced by sorting (Stage 2 output).
+    preprocess_stats:
+        Counters from Stage 1.
+    raster_stats:
+        Counters from Stage 3.
+    """
+
+    image: np.ndarray
+    projected: ProjectedGaussians
+    binning: TileBinning
+    preprocess_stats: PreprocessStats
+    raster_stats: RasterStats
+
+    @property
+    def num_sort_keys(self) -> int:
+        """Number of duplicated (tile, Gaussian) keys handled by Stage 2."""
+        return self.binning.num_keys
+
+    @property
+    def fragments_evaluated(self) -> int:
+        """Gaussian-pixel evaluations performed by Stage 3."""
+        return self.raster_stats.fragments_evaluated
+
+
+def render(
+    scene: GaussianScene,
+    camera: Optional[Camera] = None,
+    background=(0.0, 0.0, 0.0),
+    sh_degree: Optional[int] = None,
+    collect_stats: bool = True,
+) -> RenderResult:
+    """Render a scene with the functional three-stage 3DGS pipeline.
+
+    Parameters
+    ----------
+    scene:
+        The scene to render.
+    camera:
+        Viewpoint; defaults to the scene's primary camera.
+    background:
+        RGB background colour composited under the splats.
+    sh_degree:
+        Optional spherical-harmonics degree override.
+    collect_stats:
+        Whether to collect per-fragment workload statistics (slightly
+        slower; required by the performance models).
+    """
+    if camera is None:
+        camera = scene.default_camera
+
+    projected, pre_stats = preprocess(scene.cloud, camera, sh_degree=sh_degree)
+    grid = TileGrid(width=camera.width, height=camera.height)
+    binning = bin_and_sort(projected, grid)
+    image, raster_stats = rasterize_tiles(
+        projected, binning, background=background, collect_stats=collect_stats
+    )
+    return RenderResult(
+        image=image,
+        projected=projected,
+        binning=binning,
+        preprocess_stats=pre_stats,
+        raster_stats=raster_stats,
+    )

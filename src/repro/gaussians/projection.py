@@ -1,0 +1,213 @@
+"""Preprocessing stage: project 3D Gaussians to screen-space 2D Gaussians.
+
+This is Step 1 of the 3DGS pipeline (Fig. 3(b) in the paper).  For every
+Gaussian that survives frustum culling the stage computes:
+
+* the screen-space centre ``mu`` (perspective projection of the 3D mean),
+* the 2x2 screen-space covariance via the EWA splatting approximation
+  (``Sigma' = J W Sigma W^T J^T``) and its inverse ("conic"),
+* a conservative screen-space radius (3 sigma of the major axis) used for
+  tile binning,
+* the view-dependent RGB colour from the SH coefficients,
+* the view-space depth used by the sorting stage.
+
+The output :class:`~repro.gaussians.gaussian.ProjectedGaussians` carries
+exactly the nine floating-point rasterizer inputs listed in Table II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gaussians.camera import Camera
+from repro.gaussians.culling import frustum_cull_mask
+from repro.gaussians.gaussian import GaussianCloud, ProjectedGaussians
+from repro.gaussians.sh import evaluate_sh_colors
+
+#: A 2D Gaussian is bounded at three standard deviations for tile binning,
+#: matching the reference implementation.
+RADIUS_SIGMA = 3.0
+
+#: Small value added to the diagonal of the screen-space covariance to model
+#: the low-pass filter that guarantees each splat covers at least ~1 pixel.
+COVARIANCE_BLUR = 0.3
+
+#: Minimum determinant below which a projected covariance is considered
+#: degenerate and the Gaussian is dropped.
+MIN_DETERMINANT = 1e-12
+
+
+@dataclass
+class PreprocessStats:
+    """Bookkeeping emitted by the preprocessing stage for profiling."""
+
+    num_input: int
+    num_culled: int
+    num_projected: int
+
+    @property
+    def visible_fraction(self) -> float:
+        """Fraction of input Gaussians that survive culling/projection."""
+        if self.num_input == 0:
+            return 0.0
+        return self.num_projected / self.num_input
+
+
+def project_covariances(
+    camera: Camera,
+    cam_points: np.ndarray,
+    covariances: np.ndarray,
+) -> np.ndarray:
+    """Project world-space 3x3 covariances to screen-space 2x2 covariances.
+
+    Implements the EWA splatting approximation: the projective transform is
+    linearised around each Gaussian centre with its Jacobian ``J`` so that
+    ``Sigma' = J W Sigma W^T J^T`` where ``W`` is the camera rotation.
+
+    Parameters
+    ----------
+    camera:
+        Rendering camera.
+    cam_points:
+        ``(N, 3)`` Gaussian centres in camera space.
+    covariances:
+        ``(N, 3, 3)`` world-space covariances.
+
+    Returns
+    -------
+    ``(N, 2, 2)`` screen-space covariances including the pixel blur term.
+    """
+    cam_points = np.asarray(cam_points, dtype=np.float64)
+    covariances = np.asarray(covariances, dtype=np.float64)
+
+    tan_x, tan_y = camera.tan_half_fov
+    z = cam_points[:, 2]
+    safe_z = np.where(np.abs(z) < 1e-12, 1e-12, z)
+
+    # Clamp x/z and y/z the way the reference implementation does so that
+    # Gaussians near the frustum border do not produce exploding Jacobians.
+    limit_x = 1.3 * tan_x
+    limit_y = 1.3 * tan_y
+    tx = np.clip(cam_points[:, 0] / safe_z, -limit_x, limit_x) * safe_z
+    ty = np.clip(cam_points[:, 1] / safe_z, -limit_y, limit_y) * safe_z
+
+    n = len(cam_points)
+    jacobian = np.zeros((n, 2, 3), dtype=np.float64)
+    jacobian[:, 0, 0] = camera.fx / safe_z
+    jacobian[:, 0, 2] = -camera.fx * tx / (safe_z * safe_z)
+    jacobian[:, 1, 1] = camera.fy / safe_z
+    jacobian[:, 1, 2] = -camera.fy * ty / (safe_z * safe_z)
+
+    rotation = camera.world_to_camera[:3, :3]
+    transform = jacobian @ rotation  # (N, 2, 3)
+    cov2d = transform @ covariances @ np.transpose(transform, (0, 2, 1))
+
+    cov2d[:, 0, 0] += COVARIANCE_BLUR
+    cov2d[:, 1, 1] += COVARIANCE_BLUR
+    return cov2d
+
+
+def invert_cov2d(cov2d: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Invert packed 2x2 covariances.
+
+    Returns
+    -------
+    conics:
+        ``(N, 3)`` packed inverses ``(a, b, c)`` of ``[[a, b], [b, c]]``.
+    valid:
+        ``(N,)`` boolean mask of covariances with a usable determinant.
+    """
+    a = cov2d[:, 0, 0]
+    b = cov2d[:, 0, 1]
+    c = cov2d[:, 1, 1]
+    det = a * c - b * b
+    valid = det > MIN_DETERMINANT
+    safe_det = np.where(valid, det, 1.0)
+    conics = np.stack([c / safe_det, -b / safe_det, a / safe_det], axis=1)
+    return conics, valid
+
+
+def screen_radius(cov2d: np.ndarray) -> np.ndarray:
+    """Conservative screen-space radius (3 sigma of the major eigenvalue)."""
+    a = cov2d[:, 0, 0]
+    b = cov2d[:, 0, 1]
+    c = cov2d[:, 1, 1]
+    mid = 0.5 * (a + c)
+    det = a * c - b * b
+    discriminant = np.sqrt(np.maximum(mid * mid - det, 0.1))
+    lambda1 = mid + discriminant
+    return np.ceil(RADIUS_SIGMA * np.sqrt(np.maximum(lambda1, 0.0)))
+
+
+def preprocess(
+    cloud: GaussianCloud,
+    camera: Camera,
+    sh_degree: int | None = None,
+) -> tuple[ProjectedGaussians, PreprocessStats]:
+    """Run the full preprocessing stage.
+
+    Parameters
+    ----------
+    cloud:
+        Trained 3D Gaussian scene.
+    camera:
+        Rendering viewpoint.
+    sh_degree:
+        Optional SH degree override (defaults to the cloud's full degree).
+
+    Returns
+    -------
+    projected:
+        Screen-space Gaussians for the rasterizer, in input order.
+    stats:
+        Counters for profiling (inputs, culled, surviving).
+    """
+    num_input = len(cloud)
+    if num_input == 0:
+        return ProjectedGaussians.empty(), PreprocessStats(0, 0, 0)
+
+    keep_mask = frustum_cull_mask(camera, cloud.positions)
+    kept_indices = np.nonzero(keep_mask)[0]
+    num_culled = num_input - len(kept_indices)
+    if len(kept_indices) == 0:
+        return ProjectedGaussians.empty(), PreprocessStats(num_input, num_culled, 0)
+
+    visible = cloud.subset(kept_indices)
+    cam_points = camera.to_camera_space(visible.positions)
+    means2d, depths = camera.project(visible.positions)
+
+    cov2d = project_covariances(camera, cam_points, visible.covariances())
+    conics, valid = invert_cov2d(cov2d)
+    radii = screen_radius(cov2d)
+
+    directions = visible.positions - camera.camera_center
+    colors = evaluate_sh_colors(visible.sh_coeffs, directions, degree=sh_degree)
+
+    # Drop Gaussians whose projected covariance is degenerate or whose
+    # footprint misses the image entirely.
+    on_screen = (
+        (means2d[:, 0] + radii >= 0)
+        & (means2d[:, 0] - radii <= camera.width)
+        & (means2d[:, 1] + radii >= 0)
+        & (means2d[:, 1] - radii <= camera.height)
+    )
+    final_mask = valid & on_screen & (radii > 0)
+    selected = np.nonzero(final_mask)[0]
+
+    projected = ProjectedGaussians(
+        means=means2d[selected],
+        cov_inverses=conics[selected],
+        depths=depths[selected],
+        colors=colors[selected],
+        opacities=visible.opacities[selected],
+        radii=radii[selected],
+        source_indices=kept_indices[selected],
+    )
+    stats = PreprocessStats(
+        num_input=num_input,
+        num_culled=num_culled,
+        num_projected=len(projected),
+    )
+    return projected, stats

@@ -1,0 +1,68 @@
+"""Scene container bundling a Gaussian cloud with rendering cameras.
+
+A :class:`GaussianScene` is what a user of the library loads or synthesises:
+the trained Gaussian cloud plus one or more evaluation viewpoints.  It also
+carries the name of the NeRF-360 scene descriptor it mimics (if any) so the
+performance models can look up the full-scale workload parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.gaussians.camera import Camera
+from repro.gaussians.gaussian import GaussianCloud
+
+
+@dataclass
+class GaussianScene:
+    """A renderable 3DGS scene.
+
+    Attributes
+    ----------
+    cloud:
+        The Gaussian scene representation.
+    cameras:
+        Evaluation viewpoints.  Rendering APIs default to the first camera.
+    name:
+        Human-readable scene name.
+    descriptor_name:
+        Optional name of the NeRF-360 descriptor this scene is a scaled-down
+        stand-in for (used by the performance models).
+    """
+
+    cloud: GaussianCloud
+    cameras: List[Camera] = field(default_factory=list)
+    name: str = "scene"
+    descriptor_name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.cameras:
+            raise ValueError("a scene needs at least one camera")
+
+    @property
+    def num_gaussians(self) -> int:
+        """Number of Gaussians in the scene."""
+        return len(self.cloud)
+
+    @property
+    def default_camera(self) -> Camera:
+        """The first (primary) evaluation camera."""
+        return self.cameras[0]
+
+    def with_cloud(self, cloud: GaussianCloud) -> "GaussianScene":
+        """Return a copy of the scene with a different Gaussian cloud."""
+        return GaussianScene(
+            cloud=cloud,
+            cameras=list(self.cameras),
+            name=self.name,
+            descriptor_name=self.descriptor_name,
+        )
+
+    def bounding_box(self) -> np.ndarray:
+        """Axis-aligned bounding box of the Gaussian centres, ``(2, 3)``."""
+        positions = self.cloud.positions
+        return np.stack([positions.min(axis=0), positions.max(axis=0)])

@@ -1,0 +1,155 @@
+"""Spherical-harmonics colour evaluation for 3D Gaussians.
+
+The preprocessing stage converts each Gaussian's view-dependent colour,
+stored as spherical-harmonics (SH) coefficients, into an RGB value for the
+current viewing direction.  This module implements the real SH basis up to
+degree 3, matching the reference 3DGS implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# Real spherical-harmonics basis constants (same values as the reference
+# 3DGS CUDA implementation).
+SH_C0 = 0.28209479177387814
+SH_C1 = 0.4886025119029199
+SH_C2 = (
+    1.0925484305920792,
+    -1.0925484305920792,
+    0.31539156525252005,
+    -1.0925484305920792,
+    0.5462742152960396,
+)
+SH_C3 = (
+    -0.5900435899266435,
+    2.890611442640554,
+    -0.4570457994644658,
+    0.3731763325901154,
+    -0.4570457994644658,
+    1.445305721320277,
+    -0.5900435899266435,
+)
+
+#: Number of SH coefficients for each supported degree.
+COEFFS_PER_DEGREE = {0: 1, 1: 4, 2: 9, 3: 16}
+
+
+def num_sh_coeffs(degree: int) -> int:
+    """Return the number of SH coefficients for ``degree`` (0-3)."""
+    if degree not in COEFFS_PER_DEGREE:
+        raise ValueError(f"SH degree must be 0..3, got {degree}")
+    return COEFFS_PER_DEGREE[degree]
+
+
+def sh_basis(directions: np.ndarray, degree: int) -> np.ndarray:
+    """Evaluate the real SH basis functions along ``directions``.
+
+    Parameters
+    ----------
+    directions:
+        ``(N, 3)`` unit view directions (Gaussian centre minus camera).
+    degree:
+        Maximum SH degree, 0 to 3.
+
+    Returns
+    -------
+    ``(N, K)`` basis values where ``K = (degree + 1) ** 2``.
+    """
+    dirs = np.asarray(directions, dtype=np.float64)
+    if dirs.ndim == 1:
+        dirs = dirs[np.newaxis, :]
+    if dirs.shape[-1] != 3:
+        raise ValueError("directions must have shape (N, 3)")
+    count = num_sh_coeffs(degree)
+    x, y, z = dirs[:, 0], dirs[:, 1], dirs[:, 2]
+
+    basis = np.empty((len(dirs), count), dtype=np.float64)
+    basis[:, 0] = SH_C0
+    if degree >= 1:
+        basis[:, 1] = -SH_C1 * y
+        basis[:, 2] = SH_C1 * z
+        basis[:, 3] = -SH_C1 * x
+    if degree >= 2:
+        xx, yy, zz = x * x, y * y, z * z
+        xy, yz, xz = x * y, y * z, x * z
+        basis[:, 4] = SH_C2[0] * xy
+        basis[:, 5] = SH_C2[1] * yz
+        basis[:, 6] = SH_C2[2] * (2.0 * zz - xx - yy)
+        basis[:, 7] = SH_C2[3] * xz
+        basis[:, 8] = SH_C2[4] * (xx - yy)
+    if degree >= 3:
+        xx, yy, zz = x * x, y * y, z * z
+        basis[:, 9] = SH_C3[0] * y * (3.0 * xx - yy)
+        basis[:, 10] = SH_C3[1] * x * y * z
+        basis[:, 11] = SH_C3[2] * y * (4.0 * zz - xx - yy)
+        basis[:, 12] = SH_C3[3] * z * (2.0 * zz - 3.0 * xx - 3.0 * yy)
+        basis[:, 13] = SH_C3[4] * x * (4.0 * zz - xx - yy)
+        basis[:, 14] = SH_C3[5] * z * (xx - yy)
+        basis[:, 15] = SH_C3[6] * x * (xx - 3.0 * yy)
+    return basis
+
+
+def evaluate_sh_colors(
+    sh_coeffs: np.ndarray,
+    directions: np.ndarray,
+    degree: int | None = None,
+) -> np.ndarray:
+    """Evaluate view-dependent RGB colours from SH coefficients.
+
+    Parameters
+    ----------
+    sh_coeffs:
+        ``(N, K, 3)`` SH coefficients per Gaussian.
+    directions:
+        ``(N, 3)`` viewing directions (need not be normalised).
+    degree:
+        Optional maximum degree to use; defaults to the degree implied by
+        ``K``.  Using a lower degree evaluates only the leading coefficients,
+        mirroring the progressive SH activation of 3DGS training.
+
+    Returns
+    -------
+    ``(N, 3)`` RGB colours, clamped to be non-negative.  The reference
+    implementation adds 0.5 before clamping, which is reproduced here.
+    """
+    coeffs = np.asarray(sh_coeffs, dtype=np.float64)
+    if coeffs.ndim != 3 or coeffs.shape[2] != 3:
+        raise ValueError("sh_coeffs must have shape (N, K, 3)")
+    available = coeffs.shape[1]
+    implied_degree = int(np.sqrt(available)) - 1
+    if degree is None:
+        degree = implied_degree
+    if degree > implied_degree:
+        raise ValueError(
+            f"requested degree {degree} but only {available} coefficients available"
+        )
+
+    dirs = np.asarray(directions, dtype=np.float64)
+    if dirs.ndim == 1:
+        dirs = np.broadcast_to(dirs, (len(coeffs), 3))
+    norms = np.linalg.norm(dirs, axis=1, keepdims=True)
+    norms = np.where(norms == 0, 1.0, norms)
+    unit_dirs = dirs / norms
+
+    basis = sh_basis(unit_dirs, degree)
+    used = num_sh_coeffs(degree)
+    colors = np.einsum("nk,nkc->nc", basis, coeffs[:, :used, :]) + 0.5
+    return np.clip(colors, 0.0, None)
+
+
+def rgb_to_sh_dc(rgb: np.ndarray) -> np.ndarray:
+    """Convert plain RGB colours to degree-0 (DC) SH coefficients.
+
+    Useful for constructing synthetic scenes with known base colours: a
+    Gaussian whose only non-zero coefficient is the DC term renders with a
+    view-independent colour equal to ``rgb``.
+    """
+    rgb = np.asarray(rgb, dtype=np.float64)
+    return (rgb - 0.5) / SH_C0
+
+
+def sh_dc_to_rgb(dc: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`rgb_to_sh_dc`."""
+    dc = np.asarray(dc, dtype=np.float64)
+    return np.clip(dc * SH_C0 + 0.5, 0.0, None)

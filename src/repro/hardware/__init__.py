@@ -1,0 +1,49 @@
+"""Hardware model of the GauRast enhanced rasterizer.
+
+This package models the hardware proposed in Section IV of the paper:
+
+* :mod:`repro.hardware.fp` — FP32/FP16 numeric behaviour of the datapath.
+* :mod:`repro.hardware.units` — functional and cost (area/energy) models of
+  the floating-point adders, multipliers, divider and exponentiation unit
+  that make up a Processing Element.
+* :mod:`repro.hardware.pe` — the dual-mode Processing Element with shared,
+  triangle-only and Gaussian-only logic paths (Fig. 7(c)).
+* :mod:`repro.hardware.pe_block` — the block of 16 PEs (Fig. 7(b)).
+* :mod:`repro.hardware.tile_buffer` — the ping-pong tile buffers.
+* :mod:`repro.hardware.rasterizer` — a cycle-level simulator of one enhanced
+  rasterizer instance, validated against the functional NumPy renderers.
+* :mod:`repro.hardware.multi` — the scaled multi-instance configuration used
+  in the evaluation plus the analytical throughput model for full-size
+  scenes.
+* :mod:`repro.hardware.area` / :mod:`repro.hardware.power` — 28 nm area and
+  energy models reproducing the breakdowns of Fig. 9.
+"""
+
+from repro.hardware.config import GauRastConfig, PROTOTYPE_CONFIG, SCALED_CONFIG
+from repro.hardware.fp import Precision, quantize
+from repro.hardware.pe import OperationCounts, ProcessingElement
+from repro.hardware.rasterizer import GauRastInstance, InstanceReport
+from repro.hardware.multi import ScaledGauRast, RasterizationEstimate
+from repro.hardware.area import AreaModel, AreaBreakdown
+from repro.hardware.power import EnergyModel, EnergyBreakdown
+from repro.hardware.validation import ValidationReport, validate_against_software
+
+__all__ = [
+    "ValidationReport",
+    "validate_against_software",
+    "AreaBreakdown",
+    "AreaModel",
+    "EnergyBreakdown",
+    "EnergyModel",
+    "GauRastConfig",
+    "GauRastInstance",
+    "InstanceReport",
+    "OperationCounts",
+    "Precision",
+    "PROTOTYPE_CONFIG",
+    "ProcessingElement",
+    "RasterizationEstimate",
+    "SCALED_CONFIG",
+    "ScaledGauRast",
+    "quantize",
+]

@@ -1,0 +1,178 @@
+"""Area model of the enhanced rasterizer (Fig. 9).
+
+The model assembles the module area bottom-up from the per-unit costs in
+:mod:`repro.hardware.units` and the PE resource inventory in
+:mod:`repro.hardware.pe`:
+
+* one PE = shared logic (9 adders, 9 multipliers) + triangle-only logic
+  (divider) + Gaussian-only logic (2 adders, 1 multiplier, 1 exponentiation
+  unit, input multiplexers) + data-staging flip-flops;
+* one module = ``pes_per_instance`` PEs + two tile buffers (SRAM) + control;
+* the *enhancement* cost of GauRast is only the Gaussian-only logic, since
+  everything else already exists in the triangle rasterizer.
+
+The quantities the paper reports and this model reproduces are ratios:
+the Gaussian-only share of a PE (~21 %), the module breakdown (PE block
+~89 %, tile buffers ~10 %, controller <1 %) and the enhanced area as a
+fraction of the baseline SoC (~0.2 %).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.hardware.config import GauRastConfig, PROTOTYPE_CONFIG
+from repro.hardware.fp import Precision
+from repro.hardware.pe import PE_RESOURCES
+from repro.hardware.units import SRAM_AREA_UM2_PER_BYTE, unit_cost
+
+#: Data-staging flip-flop banks per PE (input and output staging, Fig. 7(c)).
+STAGING_BANKS_PER_PE = 2
+
+#: Controller area of one module (top controller, dispatch controller and
+#: result collector), in um^2 — small fixed-function state machines.
+CONTROLLER_AREA_UM2 = 2000.0
+
+#: Die area of the baseline SoC (NVIDIA Jetson Orin NX), mm^2.
+BASELINE_SOC_AREA_MM2 = 455.0
+
+
+def _group_area(group: Dict[str, int], precision: Precision) -> float:
+    """Area of a resource group (unit kind -> count) in um^2."""
+    return sum(
+        count * unit_cost(kind, precision).area_um2 for kind, count in group.items()
+    )
+
+
+@dataclass(frozen=True)
+class PEAreaBreakdown:
+    """Area of one Processing Element, split by logic group (um^2)."""
+
+    shared_um2: float
+    triangle_only_um2: float
+    gaussian_only_um2: float
+    staging_um2: float
+
+    @property
+    def total_um2(self) -> float:
+        """Total PE area."""
+        return (
+            self.shared_um2
+            + self.triangle_only_um2
+            + self.gaussian_only_um2
+            + self.staging_um2
+        )
+
+    @property
+    def preexisting_um2(self) -> float:
+        """Area already present in the triangle rasterizer."""
+        return self.shared_um2 + self.triangle_only_um2 + self.staging_um2
+
+    @property
+    def gaussian_fraction(self) -> float:
+        """Share of the PE occupied by the added Gaussian-only logic."""
+        return self.gaussian_only_um2 / self.total_um2
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """Area of one enhanced-rasterizer module (um^2 unless noted)."""
+
+    pe: PEAreaBreakdown
+    num_pes: int
+    pe_block_um2: float
+    tile_buffers_um2: float
+    controller_um2: float
+
+    @property
+    def module_um2(self) -> float:
+        """Total module area."""
+        return self.pe_block_um2 + self.tile_buffers_um2 + self.controller_um2
+
+    @property
+    def module_mm2(self) -> float:
+        """Total module area in mm^2."""
+        return self.module_um2 / 1.0e6
+
+    @property
+    def pe_block_fraction(self) -> float:
+        """PE-block share of the module."""
+        return self.pe_block_um2 / self.module_um2
+
+    @property
+    def tile_buffer_fraction(self) -> float:
+        """Tile-buffer share of the module."""
+        return self.tile_buffers_um2 / self.module_um2
+
+    @property
+    def controller_fraction(self) -> float:
+        """Controller share of the module."""
+        return self.controller_um2 / self.module_um2
+
+    @property
+    def enhanced_um2(self) -> float:
+        """Added (Gaussian-only) area of the module."""
+        return self.pe.gaussian_only_um2 * self.num_pes
+
+
+class AreaModel:
+    """Computes PE, module, design and SoC-relative areas for a configuration."""
+
+    def __init__(self, config: GauRastConfig = PROTOTYPE_CONFIG):
+        self.config = config
+
+    # ------------------------------------------------------------------ #
+    # Component areas
+    # ------------------------------------------------------------------ #
+    def pe_breakdown(self) -> PEAreaBreakdown:
+        """Area breakdown of one PE at the configured precision."""
+        precision = self.config.precision
+        staging = STAGING_BANKS_PER_PE * unit_cost("staging", precision).area_um2
+        return PEAreaBreakdown(
+            shared_um2=_group_area(PE_RESOURCES["shared"], precision),
+            triangle_only_um2=_group_area(PE_RESOURCES["triangle_only"], precision),
+            gaussian_only_um2=_group_area(PE_RESOURCES["gaussian_only"], precision),
+            staging_um2=staging,
+        )
+
+    def tile_buffer_bytes(self) -> int:
+        """Storage of both tile buffers (primitive batch plus pixel state)."""
+        config = self.config
+        per_buffer = (
+            config.tile_buffer_primitive_capacity * config.primitive_bytes
+            + config.pixels_per_tile * config.pixel_state_bytes
+        )
+        return 2 * per_buffer
+
+    def module_breakdown(self) -> AreaBreakdown:
+        """Area breakdown of one enhanced-rasterizer module."""
+        pe = self.pe_breakdown()
+        num_pes = self.config.pes_per_instance
+        return AreaBreakdown(
+            pe=pe,
+            num_pes=num_pes,
+            pe_block_um2=pe.total_um2 * num_pes,
+            tile_buffers_um2=self.tile_buffer_bytes() * SRAM_AREA_UM2_PER_BYTE,
+            controller_um2=CONTROLLER_AREA_UM2,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Design-level quantities
+    # ------------------------------------------------------------------ #
+    def design_area_mm2(self) -> float:
+        """Total area of all module instances."""
+        return self.module_breakdown().module_mm2 * self.config.num_instances
+
+    def enhanced_area_mm2(self) -> float:
+        """Total *added* area (Gaussian-only logic) across all instances."""
+        module = self.module_breakdown()
+        return module.enhanced_um2 * self.config.num_instances / 1.0e6
+
+    def soc_overhead_fraction(
+        self, soc_area_mm2: float = BASELINE_SOC_AREA_MM2
+    ) -> float:
+        """Added area relative to the baseline SoC die area."""
+        if soc_area_mm2 <= 0:
+            raise ValueError("soc_area_mm2 must be positive")
+        return self.enhanced_area_mm2() / soc_area_mm2

@@ -1,0 +1,212 @@
+"""Scaled multi-instance GauRast configuration and its analytical throughput model.
+
+The SoC-level evaluation uses 15 instances of the 16-PE rasterizer module
+(Section V-A).  Screen tiles are distributed round-robin across instances,
+which all run in parallel, so a frame finishes when the most loaded instance
+does.
+
+Two levels of fidelity are provided:
+
+* :meth:`ScaledGauRast.simulate_frame` — drives one cycle-level
+  :class:`~repro.hardware.rasterizer.GauRastInstance` per hardware instance
+  over an actual projected frame.  This is exact but only tractable for the
+  scaled-down synthetic scenes.
+* :meth:`ScaledGauRast.estimate` — closed-form cycle count from a
+  :class:`~repro.profiling.workload.WorkloadStatistics` summary (sort keys,
+  tiles, early-termination fraction).  This is what the paper-scale
+  experiments use; tests verify it agrees with the cycle-level simulation on
+  scenes small enough to run both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.gaussians.gaussian import ProjectedGaussians
+from repro.gaussians.sorting import TileBinning
+from repro.hardware.config import GauRastConfig, SCALED_CONFIG
+from repro.hardware.controller import ControllerTimings, DispatchController
+from repro.hardware.rasterizer import GauRastInstance, InstanceReport
+from repro.profiling.workload import WorkloadStatistics
+
+
+@dataclass
+class FrameReport:
+    """Combined report of a multi-instance frame simulation."""
+
+    frame_cycles: int
+    instance_reports: List[InstanceReport]
+    config: GauRastConfig
+
+    @property
+    def runtime_seconds(self) -> float:
+        """Frame runtime: the slowest instance defines the frame time."""
+        return self.frame_cycles / self.config.clock_hz
+
+    @property
+    def fragments_evaluated(self) -> int:
+        """Fragments evaluated across all instances."""
+        return sum(r.fragments_evaluated for r in self.instance_reports)
+
+    @property
+    def fragments_skipped(self) -> int:
+        """Fragments skipped by early termination across all instances."""
+        return sum(r.fragments_skipped for r in self.instance_reports)
+
+    @property
+    def traffic_bytes(self) -> int:
+        """Memory-interface traffic across all instances."""
+        return sum(r.traffic_bytes for r in self.instance_reports)
+
+    @property
+    def operation_counts(self) -> Dict[str, int]:
+        """Merged per-kind operation counts."""
+        merged: Dict[str, int] = {}
+        for report in self.instance_reports:
+            for kind, count in report.operation_counts.items():
+                merged[kind] = merged.get(kind, 0) + count
+        return merged
+
+    @property
+    def load_imbalance(self) -> float:
+        """Ratio of the slowest instance's cycles to the mean."""
+        cycles = [r.cycles for r in self.instance_reports if r.cycles > 0]
+        if not cycles:
+            return 1.0
+        return max(cycles) / (sum(cycles) / len(cycles))
+
+
+@dataclass
+class RasterizationEstimate:
+    """Closed-form rasterization cost estimate for a full-scale workload."""
+
+    config: GauRastConfig
+    workload: WorkloadStatistics
+    compute_cycles_per_instance: float
+    control_cycles_per_instance: float
+    frame_cycles: float
+    fragments_evaluated: float
+    dram_bytes: float
+
+    @property
+    def runtime_seconds(self) -> float:
+        """Estimated rasterization time of one frame."""
+        return self.frame_cycles / self.config.clock_hz
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of frame cycles spent in PE computation."""
+        if self.frame_cycles == 0:
+            return 0.0
+        return self.compute_cycles_per_instance / self.frame_cycles
+
+
+class ScaledGauRast:
+    """The scaled GauRast design: several rasterizer instances in parallel."""
+
+    def __init__(
+        self,
+        config: GauRastConfig = SCALED_CONFIG,
+        timings: Optional[ControllerTimings] = None,
+    ):
+        self.config = config
+        self.timings = timings or ControllerTimings()
+
+    # ------------------------------------------------------------------ #
+    # Cycle-level simulation (small scenes)
+    # ------------------------------------------------------------------ #
+    def simulate_frame(
+        self,
+        projected: ProjectedGaussians,
+        binning: TileBinning,
+        background=(0.0, 0.0, 0.0),
+    ) -> tuple[np.ndarray, FrameReport]:
+        """Simulate a frame at cycle level across all instances."""
+        grid = binning.grid
+        background = np.asarray(background, dtype=np.float64).reshape(3)
+        image = np.empty((grid.height, grid.width, 3), dtype=np.float64)
+        image[:, :] = background
+
+        dispatcher = DispatchController(self.config.num_instances)
+        occupied = sorted(binning.tile_lists.keys())
+        assignments = dispatcher.assign_tiles(occupied)
+
+        reports: List[InstanceReport] = []
+        for tile_ids in assignments:
+            instance = GauRastInstance(self.config, timings=self.timings)
+            _, report = instance.rasterize_gaussians(
+                projected,
+                binning,
+                tile_ids=tile_ids,
+                background=background,
+                image=image,
+            )
+            reports.append(report)
+
+        frame_cycles = max((r.cycles for r in reports), default=0)
+        return image, FrameReport(
+            frame_cycles=frame_cycles,
+            instance_reports=reports,
+            config=self.config,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Analytical estimate (paper-scale workloads)
+    # ------------------------------------------------------------------ #
+    def estimate(self, workload: WorkloadStatistics) -> RasterizationEstimate:
+        """Estimate the rasterization time of a full-scale workload.
+
+        The model mirrors the cycle-level simulator: each of the workload's
+        sort keys costs ``pixels_per_pe * gaussian_cycles_per_fragment``
+        cycles on its instance, scaled by the fraction of fragments actually
+        evaluated (per-pixel early termination); each tile adds the fixed
+        control cost; primitive loads are overlapped by the ping-pong
+        buffers and only surface when a tile's batch is too small to hide
+        them (negligible for realistic depth complexities, but the term is
+        kept for fidelity on sparse workloads).
+        """
+        config = self.config
+        keys_per_instance = workload.sort_keys / config.num_instances
+        tiles_per_instance = workload.occupied_tiles / config.num_instances
+
+        cycles_per_key = (
+            config.pixels_per_pe
+            * config.gaussian_cycles_per_fragment
+            * workload.evaluated_fraction
+        )
+        compute = keys_per_instance * cycles_per_key
+
+        mean_keys_per_tile = workload.mean_keys_per_occupied_tile
+        batches_per_tile = max(
+            1.0, np.ceil(mean_keys_per_tile / config.tile_buffer_primitive_capacity)
+        )
+        control_per_tile = self.timings.per_tile_cycles(int(batches_per_tile))
+        control = tiles_per_instance * control_per_tile
+
+        load_per_tile = config.primitive_load_cycles(int(round(mean_keys_per_tile)))
+        compute_per_tile = mean_keys_per_tile * cycles_per_key
+        exposed_load_per_tile = max(0.0, load_per_tile - compute_per_tile)
+        exposed_load = tiles_per_instance * exposed_load_per_tile
+
+        frame_cycles = compute + control + exposed_load
+        fragments = workload.evaluated_fragments
+        dram_bytes = (
+            workload.sort_keys * config.primitive_bytes
+            + 2 * workload.num_pixels * config.pixel_state_bytes
+        )
+        return RasterizationEstimate(
+            config=config,
+            workload=workload,
+            compute_cycles_per_instance=compute,
+            control_cycles_per_instance=control,
+            frame_cycles=frame_cycles,
+            fragments_evaluated=fragments,
+            dram_bytes=dram_bytes,
+        )
+
+    def estimate_runtime(self, workload: WorkloadStatistics) -> float:
+        """Convenience wrapper returning only the estimated frame time."""
+        return self.estimate(workload).runtime_seconds

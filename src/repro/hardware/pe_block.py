@@ -1,0 +1,196 @@
+"""The PE Block: the array of Processing Elements inside one rasterizer instance.
+
+The PE block of the prototype holds 16 PEs.  When a tile is dispatched, its
+pixels are interleaved across the PEs (pixel ``p`` belongs to PE
+``p mod num_pes``), so partially filled border tiles still spread their work
+evenly.  Primitives staged in the active tile buffer are broadcast to all
+PEs in sorted order; each PE applies the primitive to its own pixels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.hardware.config import GauRastConfig
+from repro.hardware.pe import (
+    GaussianPixelState,
+    ProcessingElement,
+    TrianglePixelState,
+)
+from repro.hardware.units import OperationTally
+
+
+@dataclass
+class BlockBatchResult:
+    """Timing outcome of one primitive batch processed by the PE block."""
+
+    compute_cycles: int
+    fragments_evaluated: int
+    fragments_skipped: int
+
+
+class PEBlock:
+    """The array of PEs of one enhanced-rasterizer instance."""
+
+    def __init__(self, config: GauRastConfig, shared_tally: OperationTally | None = None):
+        self.config = config
+        self.tally = shared_tally or OperationTally()
+        self.pes: List[ProcessingElement] = [
+            ProcessingElement(config, tally=self.tally)
+            for _ in range(config.pes_per_instance)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Pixel ownership
+    # ------------------------------------------------------------------ #
+    def owner_of_pixels(self, num_pixels: int) -> np.ndarray:
+        """Return the PE index owning each of ``num_pixels`` tile pixels."""
+        return np.arange(num_pixels) % self.config.pes_per_instance
+
+    def _partition(self, pixel_centers: np.ndarray) -> List[np.ndarray]:
+        owners = self.owner_of_pixels(len(pixel_centers))
+        return [np.nonzero(owners == pe)[0] for pe in range(len(self.pes))]
+
+    # ------------------------------------------------------------------ #
+    # Counters
+    # ------------------------------------------------------------------ #
+    @property
+    def fragments_evaluated(self) -> int:
+        """Fragments evaluated across all PEs."""
+        return sum(pe.fragments_evaluated for pe in self.pes)
+
+    @property
+    def fragments_skipped(self) -> int:
+        """Fragments skipped by per-pixel early termination across all PEs."""
+        return sum(pe.fragments_skipped for pe in self.pes)
+
+    def reset_counters(self) -> None:
+        """Clear all PE counters and the shared operation tally."""
+        for pe in self.pes:
+            pe.fragments_evaluated = 0
+            pe.fragments_skipped = 0
+            pe.busy_cycles = 0
+        self.tally.counts.clear()
+
+    # ------------------------------------------------------------------ #
+    # Gaussian mode
+    # ------------------------------------------------------------------ #
+    def process_gaussian_tile(
+        self,
+        pixel_centers: np.ndarray,
+        primitive_batches: Sequence[np.ndarray],
+        background=(0.0, 0.0, 0.0),
+    ) -> Tuple[np.ndarray, List[BlockBatchResult]]:
+        """Rasterize one tile's Gaussian batches.
+
+        Parameters
+        ----------
+        pixel_centers:
+            ``(P, 2)`` pixel centres of the tile.
+        primitive_batches:
+            Sequence of ``(Gi, 9)`` primitive arrays in front-to-back order,
+            already split to the tile-buffer capacity.
+        background:
+            Background colour composited after the last batch.
+
+        Returns
+        -------
+        colors:
+            ``(P, 3)`` output colours in tile pixel order.
+        batch_results:
+            Per-batch timing records (compute cycles are the maximum over
+            the PEs, since the block finishes a batch when its slowest PE
+            does).
+        """
+        num_pixels = len(pixel_centers)
+        partitions = self._partition(pixel_centers)
+        states = [GaussianPixelState.initial(len(p)) for p in partitions]
+
+        batch_results: List[BlockBatchResult] = []
+        for batch in primitive_batches:
+            busy_before = [pe.busy_cycles for pe in self.pes]
+            evaluated_before = self.fragments_evaluated
+            skipped_before = self.fragments_skipped
+            for pe, indices, state in zip(self.pes, partitions, states):
+                if len(indices) == 0:
+                    continue
+                centers = pixel_centers[indices]
+                for primitive in batch:
+                    pe.apply_gaussian(centers, state, primitive)
+            compute = max(
+                pe.busy_cycles - before for pe, before in zip(self.pes, busy_before)
+            )
+            batch_results.append(
+                BlockBatchResult(
+                    compute_cycles=int(compute),
+                    fragments_evaluated=self.fragments_evaluated - evaluated_before,
+                    fragments_skipped=self.fragments_skipped - skipped_before,
+                )
+            )
+
+        colors = np.zeros((num_pixels, 3), dtype=np.float64)
+        for pe, indices, state in zip(self.pes, partitions, states):
+            if len(indices) == 0:
+                continue
+            colors[indices] = pe.finalize_gaussian(state, background)
+        return colors, batch_results
+
+    # ------------------------------------------------------------------ #
+    # Triangle mode
+    # ------------------------------------------------------------------ #
+    def process_triangle_tile(
+        self,
+        pixel_centers: np.ndarray,
+        primitive_batches: Sequence[np.ndarray],
+        colors: Sequence[np.ndarray],
+        uvs: Sequence[np.ndarray],
+        background=(0.0, 0.0, 0.0),
+    ) -> Tuple[np.ndarray, np.ndarray, List[BlockBatchResult]]:
+        """Rasterize one tile's triangle batches.
+
+        ``colors`` and ``uvs`` hold, per batch, the per-triangle vertex
+        attributes aligned with ``primitive_batches``.
+
+        Returns the tile colours, depths and per-batch timing records.
+        """
+        num_pixels = len(pixel_centers)
+        partitions = self._partition(pixel_centers)
+        states = [
+            TrianglePixelState.initial(len(p), background=background)
+            for p in partitions
+        ]
+
+        batch_results: List[BlockBatchResult] = []
+        for batch, batch_colors, batch_uvs in zip(primitive_batches, colors, uvs):
+            busy_before = [pe.busy_cycles for pe in self.pes]
+            evaluated_before = self.fragments_evaluated
+            for pe, indices, state in zip(self.pes, partitions, states):
+                if len(indices) == 0:
+                    continue
+                centers = pixel_centers[indices]
+                for primitive, tri_colors, tri_uvs in zip(
+                    batch, batch_colors, batch_uvs
+                ):
+                    pe.apply_triangle(centers, state, primitive, tri_colors, tri_uvs)
+            compute = max(
+                pe.busy_cycles - before for pe, before in zip(self.pes, busy_before)
+            )
+            batch_results.append(
+                BlockBatchResult(
+                    compute_cycles=int(compute),
+                    fragments_evaluated=self.fragments_evaluated - evaluated_before,
+                    fragments_skipped=0,
+                )
+            )
+
+        out_colors = np.zeros((num_pixels, 3), dtype=np.float64)
+        out_depths = np.full(num_pixels, np.inf, dtype=np.float64)
+        for indices, state in zip(partitions, states):
+            if len(indices) == 0:
+                continue
+            out_colors[indices] = state.color
+            out_depths[indices] = state.depth
+        return out_colors, out_depths, batch_results

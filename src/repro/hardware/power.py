@@ -1,0 +1,146 @@
+"""Energy and power model of the GauRast rasterizer.
+
+Energy is assembled bottom-up per evaluated Gaussian-pixel fragment:
+
+* **compute** — the per-fragment operation counts of Table II's Gaussian
+  column priced with the per-operation energies of the functional units;
+* **staging** — clock and register (flip-flop) energy, modelled as a fixed
+  fraction of the compute energy;
+* **SRAM** — the pixel accumulator read-modify-write in the tile buffer plus
+  the (amortised) primitive parameter read;
+* **control** — dispatch, sequencing and result collection;
+* **DRAM** — streaming every tile's primitive batch from memory once plus
+  the pixel state write-back, amortised over the frame;
+* **leakage** — static power of the module instances over the frame time.
+
+Summing these for the scaled configuration and dividing into the baseline's
+rasterization energy reproduces the ~24x energy-efficiency improvement of
+Fig. 10 (and the slightly lower ~22x for the Mini-Splatting workload, whose
+shallower tiles benefit less from early termination).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.config import GauRastConfig, SCALED_CONFIG
+from repro.hardware.fp import Precision
+from repro.hardware.multi import RasterizationEstimate
+from repro.hardware.pe import GAUSSIAN_SUBTASK_OPS, subtask_totals
+from repro.hardware.units import (
+    DRAM_ENERGY_PJ_PER_BYTE,
+    SRAM_ENERGY_PJ_PER_BYTE,
+    unit_cost,
+)
+
+#: Register/clock-tree energy as a fraction of the datapath compute energy.
+STAGING_ENERGY_FACTOR = 0.8
+
+#: Dispatch/control energy per evaluated fragment, pJ.
+CONTROL_ENERGY_PJ_PER_FRAGMENT = 3.0
+
+#: Static (leakage) power of one 16-PE module instance, W.
+LEAKAGE_W_PER_INSTANCE = 0.025
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Per-frame rasterization energy of the GauRast design, in joules."""
+
+    compute_j: float
+    staging_j: float
+    sram_j: float
+    control_j: float
+    dram_j: float
+    leakage_j: float
+
+    @property
+    def total_j(self) -> float:
+        """Total rasterization energy per frame."""
+        return (
+            self.compute_j
+            + self.staging_j
+            + self.sram_j
+            + self.control_j
+            + self.dram_j
+            + self.leakage_j
+        )
+
+    def average_power_w(self, runtime_seconds: float) -> float:
+        """Average power over the rasterization runtime."""
+        if runtime_seconds <= 0:
+            raise ValueError("runtime_seconds must be positive")
+        return self.total_j / runtime_seconds
+
+
+class EnergyModel:
+    """Computes per-fragment and per-frame energy for a configuration."""
+
+    def __init__(self, config: GauRastConfig = SCALED_CONFIG):
+        self.config = config
+
+    # ------------------------------------------------------------------ #
+    # Per-fragment components
+    # ------------------------------------------------------------------ #
+    def compute_energy_per_fragment_pj(self) -> float:
+        """Datapath energy of one evaluated Gaussian fragment."""
+        precision = self.config.precision
+        totals = subtask_totals(GAUSSIAN_SUBTASK_OPS)
+        return sum(
+            count * unit_cost(kind, precision).energy_pj
+            for kind, count in totals.items()
+        )
+
+    def staging_energy_per_fragment_pj(self) -> float:
+        """Register and clock energy of one evaluated fragment."""
+        return STAGING_ENERGY_FACTOR * self.compute_energy_per_fragment_pj()
+
+    def sram_energy_per_fragment_pj(self) -> float:
+        """Tile-buffer energy of one evaluated fragment.
+
+        The pixel accumulator (colour + transmittance) is read and written
+        once per fragment; the primitive parameters are read once per PE per
+        primitive and amortised over the pixels the PE owns.
+        """
+        config = self.config
+        pixel_bytes = 2 * config.pixel_state_bytes
+        primitive_bytes = config.primitive_bytes / config.pixels_per_pe
+        return (pixel_bytes + primitive_bytes) * SRAM_ENERGY_PJ_PER_BYTE
+
+    def energy_per_fragment_pj(self) -> float:
+        """Total on-chip energy of one evaluated fragment (no DRAM/leakage)."""
+        return (
+            self.compute_energy_per_fragment_pj()
+            + self.staging_energy_per_fragment_pj()
+            + self.sram_energy_per_fragment_pj()
+            + CONTROL_ENERGY_PJ_PER_FRAGMENT
+        )
+
+    # ------------------------------------------------------------------ #
+    # Per-frame energy
+    # ------------------------------------------------------------------ #
+    def frame_energy(self, estimate: RasterizationEstimate) -> EnergyBreakdown:
+        """Energy of rasterizing one frame described by ``estimate``."""
+        fragments = estimate.fragments_evaluated
+        compute = fragments * self.compute_energy_per_fragment_pj() * 1e-12
+        staging = fragments * self.staging_energy_per_fragment_pj() * 1e-12
+        sram = fragments * self.sram_energy_per_fragment_pj() * 1e-12
+        control = fragments * CONTROL_ENERGY_PJ_PER_FRAGMENT * 1e-12
+        dram = estimate.dram_bytes * DRAM_ENERGY_PJ_PER_BYTE * 1e-12
+        leakage = (
+            LEAKAGE_W_PER_INSTANCE
+            * self.config.num_instances
+            * estimate.runtime_seconds
+        )
+        return EnergyBreakdown(
+            compute_j=compute,
+            staging_j=staging,
+            sram_j=sram,
+            control_j=control,
+            dram_j=dram,
+            leakage_j=leakage,
+        )
+
+    def frame_energy_j(self, estimate: RasterizationEstimate) -> float:
+        """Convenience wrapper returning the total frame energy."""
+        return self.frame_energy(estimate).total_j

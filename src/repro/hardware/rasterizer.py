@@ -1,0 +1,271 @@
+"""Cycle-level simulator of one GauRast enhanced-rasterizer instance.
+
+The instance (Fig. 7(b)) consists of the ping-pong tile buffers, the dispatch
+controller, the PE block and the result collector.  The simulator walks a
+frame's tile work list, splits each tile's sorted primitive list into
+buffer-sized batches and charges:
+
+* **compute cycles** — the slowest PE's busy cycles per batch;
+* **load cycles** — the memory-interface cycles needed to stage each batch,
+  overlapped with computation by the ping-pong organisation, so only the
+  portion exceeding the compute time of the concurrently processed batch
+  shows up on the critical path;
+* **control cycles** — the fixed per-tile and per-batch costs of the top
+  controller, dispatch controller and result collector.
+
+Because every arithmetic step goes through the PE datapath model, the
+simulator also produces the rendered image, which tests compare against the
+functional NumPy renderer — reproducing the paper's RTL-vs-software
+validation step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.gaussians.gaussian import ProjectedGaussians
+from repro.gaussians.sorting import TileBinning
+from repro.gaussians.tiles import TileGrid
+from repro.hardware.config import GauRastConfig
+from repro.hardware.controller import ControllerTimings, ResultCollector
+from repro.hardware.pe_block import PEBlock
+from repro.hardware.tile_buffer import PingPongBuffers, split_into_batches
+from repro.hardware.units import OperationTally
+from repro.triangles.transform import ScreenTriangles
+
+
+@dataclass
+class InstanceReport:
+    """Timing and activity report of one instance over one frame."""
+
+    cycles: int = 0
+    compute_cycles: int = 0
+    load_cycles_exposed: int = 0
+    control_cycles: int = 0
+    tiles_processed: int = 0
+    batches_processed: int = 0
+    fragments_evaluated: int = 0
+    fragments_skipped: int = 0
+    traffic_bytes: int = 0
+    operation_counts: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of instance cycles the PE block was the critical resource."""
+        if self.cycles == 0:
+            return 0.0
+        return self.compute_cycles / self.cycles
+
+    def runtime_seconds(self, clock_hz: float) -> float:
+        """Wall-clock runtime at ``clock_hz``."""
+        return self.cycles / clock_hz
+
+
+def _tally_delta(current: Dict[str, int], before: Dict[str, int]) -> Dict[str, int]:
+    """Per-kind operation counts accumulated since ``before`` was snapshotted."""
+    return {
+        kind: count - before.get(kind, 0)
+        for kind, count in current.items()
+        if count - before.get(kind, 0) > 0
+    }
+
+
+class GauRastInstance:
+    """One enhanced-rasterizer module: tile buffers + controller + 16-PE block."""
+
+    def __init__(
+        self,
+        config: GauRastConfig,
+        timings: Optional[ControllerTimings] = None,
+    ):
+        self.config = config
+        self.timings = timings or ControllerTimings()
+        self.tally = OperationTally()
+        self.pe_block = PEBlock(config, shared_tally=self.tally)
+        self.buffers = PingPongBuffers(config)
+        self.collector = ResultCollector()
+
+    # ------------------------------------------------------------------ #
+    # Gaussian mode
+    # ------------------------------------------------------------------ #
+    def rasterize_gaussians(
+        self,
+        projected: ProjectedGaussians,
+        binning: TileBinning,
+        tile_ids: Optional[Sequence[int]] = None,
+        background=(0.0, 0.0, 0.0),
+        image: Optional[np.ndarray] = None,
+    ) -> tuple[np.ndarray, InstanceReport]:
+        """Rasterize the given tiles of a frame in Gaussian mode.
+
+        Parameters
+        ----------
+        projected:
+            The frame's projected Gaussians (Stage 1 output).
+        binning:
+            The frame's tile lists (Stage 2 output).
+        tile_ids:
+            Tiles this instance is responsible for; defaults to every
+            occupied tile.
+        background:
+            Background colour.
+        image:
+            Optional pre-allocated ``(H, W, 3)`` image to write into; a new
+            background-filled image is created otherwise.
+
+        Returns
+        -------
+        image, report
+        """
+        grid = binning.grid
+        background = np.asarray(background, dtype=np.float64).reshape(3)
+        if image is None:
+            image = np.empty((grid.height, grid.width, 3), dtype=np.float64)
+            image[:, :] = background
+        if tile_ids is None:
+            tile_ids = sorted(binning.tile_lists.keys())
+
+        report = InstanceReport()
+        raster_inputs = projected.raster_inputs() if len(projected) else None
+        ops_before = dict(self.tally.counts)
+        traffic_before = self.buffers.traffic.total_bytes
+
+        for tile_id in tile_ids:
+            gaussian_indices = binning.gaussians_for_tile(tile_id)
+            x0, y0, x1, y1 = grid.tile_pixel_bounds(tile_id)
+            pixel_centers = grid.tile_pixel_centers(tile_id)
+            num_pixels = len(pixel_centers)
+
+            if len(gaussian_indices) == 0:
+                image[y0:y1, x0:x1] = background
+                continue
+
+            batches_idx = split_into_batches(
+                gaussian_indices, self.config.tile_buffer_primitive_capacity
+            )
+            primitive_batches = [raster_inputs[idx] for idx in batches_idx]
+
+            compute_total = 0
+            load_total = 0
+            for batch in primitive_batches:
+                load_total += self.buffers.load_batch(batch)
+                self.buffers.swap()
+            self.buffers.record_pixel_readwrite(num_pixels)
+
+            colors, batch_results = self.pe_block.process_gaussian_tile(
+                pixel_centers, primitive_batches, background=background
+            )
+            compute_total = sum(b.compute_cycles for b in batch_results)
+
+            control = self.timings.per_tile_cycles(len(primitive_batches))
+            exposed_load = max(0, load_total - compute_total)
+            tile_cycles = compute_total + exposed_load + control
+
+            image[y0:y1, x0:x1] = colors.reshape(y1 - y0, x1 - x0, 3)
+            self.collector.collect(tile_id, num_pixels)
+
+            report.cycles += tile_cycles
+            report.compute_cycles += compute_total
+            report.load_cycles_exposed += exposed_load
+            report.control_cycles += control
+            report.tiles_processed += 1
+            report.batches_processed += len(primitive_batches)
+            report.fragments_evaluated += sum(
+                b.fragments_evaluated for b in batch_results
+            )
+            report.fragments_skipped += sum(b.fragments_skipped for b in batch_results)
+
+        report.traffic_bytes = self.buffers.traffic.total_bytes - traffic_before
+        report.operation_counts = _tally_delta(self.tally.counts, ops_before)
+        return image, report
+
+    # ------------------------------------------------------------------ #
+    # Triangle mode
+    # ------------------------------------------------------------------ #
+    def rasterize_triangles(
+        self,
+        triangles: ScreenTriangles,
+        grid: TileGrid,
+        background=(0.0, 0.0, 0.0),
+    ) -> tuple[np.ndarray, np.ndarray, InstanceReport]:
+        """Rasterize a triangle frame in the pre-existing triangle mode.
+
+        The instance keeps its original capability: triangles are binned to
+        tiles by their screen bounding box and resolved per pixel with the
+        min-depth rule.
+
+        Returns the colour image, the depth buffer and the timing report.
+        """
+        background = np.asarray(background, dtype=np.float64).reshape(3)
+        image = np.empty((grid.height, grid.width, 3), dtype=np.float64)
+        image[:, :] = background
+        depth = np.full((grid.height, grid.width), np.inf, dtype=np.float64)
+        report = InstanceReport()
+        ops_before = dict(self.tally.counts)
+        traffic_before = self.buffers.traffic.total_bytes
+
+        if len(triangles) == 0:
+            return image, depth, report
+
+        raster_inputs = triangles.raster_inputs()
+        # Bin triangles to tiles by bounding box.
+        tile_lists: Dict[int, List[int]] = {}
+        mins = triangles.vertices[:, :, :2].min(axis=1)
+        maxs = triangles.vertices[:, :, :2].max(axis=1)
+        centers = (mins + maxs) / 2.0
+        radii = np.linalg.norm(maxs - mins, axis=1) / 2.0
+        ranges = grid.tile_range_for_bbox(centers, radii)
+        for tri_index, (tx0, ty0, tx1, ty1) in enumerate(ranges):
+            for ty in range(ty0, ty1):
+                for tx in range(tx0, tx1):
+                    tile_lists.setdefault(grid.tile_id(tx, ty), []).append(tri_index)
+
+        for tile_id, tri_indices in sorted(tile_lists.items()):
+            x0, y0, x1, y1 = grid.tile_pixel_bounds(tile_id)
+            pixel_centers = grid.tile_pixel_centers(tile_id)
+            num_pixels = len(pixel_centers)
+
+            batches_idx = split_into_batches(
+                np.asarray(tri_indices), self.config.tile_buffer_primitive_capacity
+            )
+            primitive_batches = [raster_inputs[idx] for idx in batches_idx]
+            color_batches = [triangles.colors[idx] for idx in batches_idx]
+            uv_batches = [triangles.uvs[idx] for idx in batches_idx]
+
+            load_total = 0
+            for batch in primitive_batches:
+                load_total += self.buffers.load_batch(batch)
+                self.buffers.swap()
+            self.buffers.record_pixel_readwrite(num_pixels)
+
+            colors, depths, batch_results = self.pe_block.process_triangle_tile(
+                pixel_centers,
+                primitive_batches,
+                color_batches,
+                uv_batches,
+                background=background,
+            )
+            compute_total = sum(b.compute_cycles for b in batch_results)
+            control = self.timings.per_tile_cycles(len(primitive_batches))
+            exposed_load = max(0, load_total - compute_total)
+
+            image[y0:y1, x0:x1] = colors.reshape(y1 - y0, x1 - x0, 3)
+            depth[y0:y1, x0:x1] = depths.reshape(y1 - y0, x1 - x0)
+            self.collector.collect(tile_id, num_pixels)
+
+            report.cycles += compute_total + exposed_load + control
+            report.compute_cycles += compute_total
+            report.load_cycles_exposed += exposed_load
+            report.control_cycles += control
+            report.tiles_processed += 1
+            report.batches_processed += len(primitive_batches)
+            report.fragments_evaluated += sum(
+                b.fragments_evaluated for b in batch_results
+            )
+
+        report.traffic_bytes = self.buffers.traffic.total_bytes - traffic_before
+        report.operation_counts = _tally_delta(self.tally.counts, ops_before)
+        return image, depth, report

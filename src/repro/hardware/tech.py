@@ -1,0 +1,91 @@
+"""Technology-node scaling for the area and energy models.
+
+The GauRast prototype is implemented in a 28 nm process while the baseline
+Jetson Orin NX SoC is fabricated in a denser node, so comparisons such as
+"0.2 % of the SoC area" implicitly involve a choice of node.  This module
+provides first-order scaling factors (area roughly with the square of the
+drawn feature size up to the end of ideal scaling, energy sub-linearly) so
+experiments can express the enhanced logic in a different node when needed.
+
+The factors are deliberately coarse — published logic-density ratios between
+the named nodes — and are exposed as data so a user can substitute their own
+numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+#: Logic density (million gates per mm^2, order of magnitude) of named nodes,
+#: normalised to the 28 nm prototype node.  Taken from published foundry
+#: density ratios; SRAM scales less aggressively but the tile buffers are a
+#: small fraction of the module so the single factor is acceptable here.
+RELATIVE_LOGIC_DENSITY: Dict[str, float] = {
+    "28nm": 1.0,
+    "16nm": 2.0,
+    "12nm": 2.3,
+    "8nm": 3.4,
+    "7nm": 3.9,
+    "5nm": 5.2,
+}
+
+#: Dynamic-energy ratio per operation relative to 28 nm (supply and
+#: capacitance scaling, first order).
+RELATIVE_DYNAMIC_ENERGY: Dict[str, float] = {
+    "28nm": 1.0,
+    "16nm": 0.62,
+    "12nm": 0.55,
+    "8nm": 0.42,
+    "7nm": 0.38,
+    "5nm": 0.30,
+}
+
+
+def known_nodes() -> tuple:
+    """Names of the technology nodes with scaling data."""
+    return tuple(RELATIVE_LOGIC_DENSITY)
+
+
+@dataclass(frozen=True)
+class TechnologyNode:
+    """One process node with its scaling factors relative to 28 nm."""
+
+    name: str
+    relative_density: float
+    relative_dynamic_energy: float
+
+    def __post_init__(self) -> None:
+        if self.relative_density <= 0 or self.relative_dynamic_energy <= 0:
+            raise ValueError("scaling factors must be positive")
+
+    @classmethod
+    def named(cls, name: str) -> "TechnologyNode":
+        """Look up a named node."""
+        if name not in RELATIVE_LOGIC_DENSITY:
+            raise KeyError(
+                f"unknown node {name!r}; known nodes: {', '.join(known_nodes())}"
+            )
+        return cls(
+            name=name,
+            relative_density=RELATIVE_LOGIC_DENSITY[name],
+            relative_dynamic_energy=RELATIVE_DYNAMIC_ENERGY[name],
+        )
+
+
+def scale_area_mm2(area_mm2: float, source: str = "28nm", target: str = "28nm") -> float:
+    """Scale a logic area between technology nodes."""
+    if area_mm2 < 0:
+        raise ValueError("area must be non-negative")
+    src = TechnologyNode.named(source)
+    dst = TechnologyNode.named(target)
+    return area_mm2 * src.relative_density / dst.relative_density
+
+
+def scale_energy_j(energy_j: float, source: str = "28nm", target: str = "28nm") -> float:
+    """Scale a dynamic energy between technology nodes."""
+    if energy_j < 0:
+        raise ValueError("energy must be non-negative")
+    src = TechnologyNode.named(source)
+    dst = TechnologyNode.named(target)
+    return energy_j * dst.relative_dynamic_energy / src.relative_dynamic_energy

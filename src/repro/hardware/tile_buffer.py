@@ -1,0 +1,139 @@
+"""Ping-pong tile buffers of the enhanced rasterizer (Fig. 7(b)).
+
+Tile Buffers A and B alternate roles: while the PE block consumes the
+primitives staged in one buffer, the cache/memory interface streams the next
+batch of primitives (and, at tile boundaries, the next tile's pixel state)
+into the other.  The model tracks buffer occupancy, the number of bytes
+moved through the memory interface, and the cycles the loads take so the
+instance simulator can decide whether loading is hidden behind computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.hardware.config import GauRastConfig
+
+
+class TileBufferError(RuntimeError):
+    """Raised on invalid buffer operations (overflow, use of an empty buffer)."""
+
+
+@dataclass
+class TrafficCounters:
+    """Bytes moved through the cache/memory interface."""
+
+    primitive_bytes_read: int = 0
+    pixel_bytes_read: int = 0
+    pixel_bytes_written: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        """Total traffic in bytes."""
+        return (
+            self.primitive_bytes_read
+            + self.pixel_bytes_read
+            + self.pixel_bytes_written
+        )
+
+
+@dataclass
+class TileBuffer:
+    """One of the two tile buffers."""
+
+    name: str
+    capacity: int
+    primitives: Optional[np.ndarray] = None
+    extra: Optional[dict] = None
+
+    def load(self, primitives: np.ndarray, extra: Optional[dict] = None) -> None:
+        """Fill the buffer with a batch of primitives (and optional payload)."""
+        primitives = np.asarray(primitives)
+        if len(primitives) > self.capacity:
+            raise TileBufferError(
+                f"buffer {self.name}: batch of {len(primitives)} primitives exceeds "
+                f"capacity {self.capacity}"
+            )
+        self.primitives = primitives
+        self.extra = extra
+
+    def drain(self) -> np.ndarray:
+        """Return the staged primitives and mark the buffer empty."""
+        if self.primitives is None:
+            raise TileBufferError(f"buffer {self.name} drained while empty")
+        primitives = self.primitives
+        self.primitives = None
+        return primitives
+
+    @property
+    def occupancy(self) -> int:
+        """Number of primitives currently staged."""
+        return 0 if self.primitives is None else len(self.primitives)
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the buffer holds no primitives."""
+        return self.primitives is None
+
+
+class PingPongBuffers:
+    """The pair of tile buffers plus the memory-interface accounting."""
+
+    def __init__(self, config: GauRastConfig):
+        self.config = config
+        self.buffers = (
+            TileBuffer("A", config.tile_buffer_primitive_capacity),
+            TileBuffer("B", config.tile_buffer_primitive_capacity),
+        )
+        self._load_index = 0
+        self.traffic = TrafficCounters()
+        self.load_cycles_total = 0
+        self.batches_loaded = 0
+
+    @property
+    def load_target(self) -> TileBuffer:
+        """The buffer currently designated for loading."""
+        return self.buffers[self._load_index]
+
+    @property
+    def compute_source(self) -> TileBuffer:
+        """The buffer currently designated for computation."""
+        return self.buffers[1 - self._load_index]
+
+    def swap(self) -> None:
+        """Exchange the load and compute roles of the two buffers."""
+        self._load_index = 1 - self._load_index
+
+    def load_batch(self, primitives: np.ndarray, extra: Optional[dict] = None) -> int:
+        """Stage a batch of primitives into the load buffer.
+
+        Returns the number of cycles the memory interface needs for the
+        transfer; the caller decides whether those cycles are hidden behind
+        the PE block's computation on the other buffer.
+        """
+        self.load_target.load(primitives, extra)
+        num = len(primitives)
+        self.traffic.primitive_bytes_read += num * self.config.primitive_bytes
+        cycles = self.config.primitive_load_cycles(num)
+        self.load_cycles_total += cycles
+        self.batches_loaded += 1
+        return cycles
+
+    def record_pixel_readwrite(self, num_pixels: int) -> None:
+        """Account for a tile's pixel state being read in and written back."""
+        bytes_per_pixel = self.config.pixel_state_bytes
+        self.traffic.pixel_bytes_read += num_pixels * bytes_per_pixel
+        self.traffic.pixel_bytes_written += num_pixels * bytes_per_pixel
+
+
+def split_into_batches(items: np.ndarray, capacity: int) -> List[np.ndarray]:
+    """Split a tile's primitive list into buffer-sized batches (in order)."""
+    if capacity <= 0:
+        raise ValueError("capacity must be positive")
+    items = np.asarray(items)
+    if len(items) == 0:
+        return []
+    return [items[i : i + capacity] for i in range(0, len(items), capacity)]

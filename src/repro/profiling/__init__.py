@@ -1,0 +1,17 @@
+"""Profiling utilities: workload statistics and per-stage runtime breakdowns.
+
+The paper motivates GauRast with a profiling study (Section II-B, Figs. 4
+and 5): per-scene frame rates and the per-stage runtime breakdown on the
+Jetson Orin NX.  This package provides the two ingredients of that study:
+
+* :mod:`repro.profiling.workload` — per-frame workload statistics (Gaussian
+  counts, sort keys, fragments, early-termination behaviour) extracted
+  either from a functional render or from a scene descriptor.
+* :mod:`repro.profiling.profiler` — assembling per-stage runtimes from a
+  platform model into the breakdown the paper plots.
+"""
+
+from repro.profiling.profiler import StageBreakdown, profile_pipeline
+from repro.profiling.workload import WorkloadStatistics
+
+__all__ = ["StageBreakdown", "WorkloadStatistics", "profile_pipeline"]

@@ -1,0 +1,76 @@
+"""Per-stage runtime breakdown of the 3DGS pipeline on a platform model.
+
+Reproduces the profiling study of Section II-B: given a platform that can
+report per-stage runtimes for a workload (any object exposing
+``stage_times(workload)``), the profiler assembles the per-scene frame rate
+(Fig. 4) and the per-stage runtime shares (Fig. 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from repro.profiling.workload import WorkloadStatistics
+
+
+@dataclass(frozen=True)
+class StageBreakdown:
+    """Runtime breakdown of one scene on one platform."""
+
+    scene_name: str
+    preprocess_s: float
+    sort_s: float
+    rasterize_s: float
+
+    @property
+    def total_s(self) -> float:
+        """End-to-end frame time (serial pipeline)."""
+        return self.preprocess_s + self.sort_s + self.rasterize_s
+
+    @property
+    def fps(self) -> float:
+        """Frames per second."""
+        if self.total_s == 0:
+            return float("inf")
+        return 1.0 / self.total_s
+
+    @property
+    def fractions(self) -> Dict[str, float]:
+        """Per-stage share of the frame time (sums to 1)."""
+        total = self.total_s
+        if total == 0:
+            return {"preprocess": 0.0, "sort": 0.0, "rasterize": 0.0}
+        return {
+            "preprocess": self.preprocess_s / total,
+            "sort": self.sort_s / total,
+            "rasterize": self.rasterize_s / total,
+        }
+
+    @property
+    def rasterize_fraction(self) -> float:
+        """Share of the frame spent in Gaussian rasterization."""
+        return self.fractions["rasterize"]
+
+
+def profile_pipeline(platform, workload: WorkloadStatistics) -> StageBreakdown:
+    """Profile one scene on a platform model.
+
+    ``platform`` must expose ``stage_times(workload)`` returning an object
+    with ``preprocess``, ``sort`` and ``rasterize`` attributes in seconds
+    (e.g. :class:`repro.baselines.gpu_model.StageTimes`).
+    """
+    times = platform.stage_times(workload)
+    return StageBreakdown(
+        scene_name=workload.scene_name,
+        preprocess_s=times.preprocess,
+        sort_s=times.sort,
+        rasterize_s=times.rasterize,
+    )
+
+
+def profile_scenes(
+    platform, workloads: Iterable[WorkloadStatistics]
+) -> List[StageBreakdown]:
+    """Profile several scenes on the same platform."""
+    return [profile_pipeline(platform, workload) for workload in workloads]

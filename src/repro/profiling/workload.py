@@ -1,0 +1,148 @@
+"""Per-frame workload statistics consumed by the performance and energy models.
+
+A :class:`WorkloadStatistics` summarises everything the platform models need
+to know about rendering one frame of one scene with one algorithm:
+
+* how many Gaussians the preprocessing stage touches,
+* how many duplicated (tile, Gaussian) keys the sorting stage handles,
+* how many Gaussian-pixel fragments the rasterization stage evaluates,
+  including the fraction that per-pixel early termination skips.
+
+Statistics can be built two ways: *measured*, from an actual functional
+render of a (scaled-down) scene, or *descriptor-based*, from the calibrated
+NeRF-360 scene descriptors for paper-scale experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets.nerf360 import TILE_SIZE, SceneDescriptor
+
+
+@dataclass(frozen=True)
+class WorkloadStatistics:
+    """Summary of one frame's rendering workload.
+
+    Attributes
+    ----------
+    scene_name:
+        Name of the scene.
+    algorithm:
+        ``"original"`` (3DGS) or ``"optimized"`` (Mini-Splatting).
+    width, height:
+        Frame resolution in pixels.
+    num_gaussians:
+        Gaussians processed by the preprocessing stage.
+    num_tiles:
+        Total number of screen tiles.
+    occupied_tiles:
+        Tiles containing at least one Gaussian.
+    sort_keys:
+        Duplicated (tile, Gaussian) keys handled by the sorting stage.
+    evaluated_fraction:
+        Fraction of the nominal ``sort_keys * tile_area`` fragments that the
+        rasterizer actually evaluates; the remainder is skipped by per-pixel
+        early termination once a pixel's transmittance saturates.
+    """
+
+    scene_name: str
+    algorithm: str
+    width: int
+    height: int
+    num_gaussians: int
+    num_tiles: int
+    occupied_tiles: int
+    sort_keys: int
+    evaluated_fraction: float
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in ("original", "optimized"):
+            raise ValueError(f"unknown algorithm {self.algorithm!r}")
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError("resolution must be positive")
+        if not 0.0 < self.evaluated_fraction <= 1.0:
+            raise ValueError("evaluated_fraction must be in (0, 1]")
+        if self.occupied_tiles > self.num_tiles:
+            raise ValueError("occupied_tiles cannot exceed num_tiles")
+        if min(self.num_gaussians, self.num_tiles, self.sort_keys) < 0:
+            raise ValueError("counts must be non-negative")
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def num_pixels(self) -> int:
+        """Pixels per frame."""
+        return self.width * self.height
+
+    @property
+    def tile_area(self) -> int:
+        """Pixels per tile."""
+        return TILE_SIZE * TILE_SIZE
+
+    @property
+    def nominal_fragments(self) -> int:
+        """Gaussian-pixel pairs implied by the tile lists (no termination)."""
+        return self.sort_keys * self.tile_area
+
+    @property
+    def evaluated_fragments(self) -> float:
+        """Fragments actually evaluated after per-pixel early termination."""
+        return self.nominal_fragments * self.evaluated_fraction
+
+    @property
+    def mean_keys_per_occupied_tile(self) -> float:
+        """Average per-tile depth complexity over occupied tiles."""
+        if self.occupied_tiles == 0:
+            return 0.0
+        return self.sort_keys / self.occupied_tiles
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_descriptor(
+        cls, descriptor: SceneDescriptor, algorithm: str = "original"
+    ) -> "WorkloadStatistics":
+        """Build paper-scale statistics from a NeRF-360 scene descriptor."""
+        workload = descriptor.workload(algorithm)
+        return cls(
+            scene_name=descriptor.name,
+            algorithm=algorithm,
+            width=descriptor.width,
+            height=descriptor.height,
+            num_gaussians=workload.num_gaussians,
+            num_tiles=descriptor.num_tiles,
+            occupied_tiles=descriptor.num_tiles,
+            sort_keys=descriptor.sort_keys(algorithm),
+            evaluated_fraction=workload.evaluated_fraction,
+        )
+
+    @classmethod
+    def from_render(
+        cls,
+        result,
+        scene_name: str = "scene",
+        algorithm: str = "original",
+    ) -> "WorkloadStatistics":
+        """Measure statistics from a functional :class:`RenderResult`."""
+        binning = result.binning
+        nominal = binning.num_keys * binning.grid.pixels_per_tile
+        if nominal > 0:
+            evaluated_fraction = min(
+                1.0, result.raster_stats.fragments_evaluated / nominal
+            )
+        else:
+            evaluated_fraction = 1.0
+        return cls(
+            scene_name=scene_name,
+            algorithm=algorithm,
+            width=binning.grid.width,
+            height=binning.grid.height,
+            num_gaussians=result.preprocess_stats.num_input,
+            num_tiles=binning.grid.num_tiles,
+            occupied_tiles=max(binning.num_occupied_tiles, 1),
+            sort_keys=binning.num_keys,
+            evaluated_fraction=max(evaluated_fraction, 1e-9),
+        )

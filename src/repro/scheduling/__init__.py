@@ -1,0 +1,32 @@
+"""CUDA-collaborative scheduling of the 3DGS pipeline (Fig. 8).
+
+With GauRast in place, the pipeline's stages run on two different resources:
+Stages 1-2 (preprocessing and sorting) stay on the CUDA cores while Stage 3
+(Gaussian rasterization) runs on the enhanced rasterizer.  The two resources
+are pipelined across frames: the CUDA cores start Stages 1-2 of frame
+``i + 1`` as soon as they hand frame ``i`` to the rasterizer.
+"""
+
+from repro.scheduling.collaborative import (
+    FrameTimeline,
+    ScheduleResult,
+    schedule_frames,
+    serial_schedule,
+    steady_state_fps,
+)
+from repro.scheduling.trace import (
+    TraceStatistics,
+    schedule_trace,
+    schedule_workload_trace,
+)
+
+__all__ = [
+    "FrameTimeline",
+    "ScheduleResult",
+    "TraceStatistics",
+    "schedule_frames",
+    "schedule_trace",
+    "schedule_workload_trace",
+    "serial_schedule",
+    "steady_state_fps",
+]

@@ -1,0 +1,189 @@
+"""Event-level model of the CUDA-collaborative schedule.
+
+Two variants are modelled:
+
+* :func:`schedule_frames` — the pipelined schedule of Fig. 8: the CUDA cores
+  run Stages 1-2 of frame ``i + 1`` while the rasterizer runs Stage 3 of
+  frame ``i``.  In steady state the frame interval is the maximum of the two
+  stage groups' durations.
+* :func:`serial_schedule` — the non-overlapped reference in which each frame
+  runs Stages 1-3 back to back on the two resources; this is what the
+  end-to-end baseline (no GauRast) effectively does on the CUDA cores alone,
+  and it is also used by the scheduling ablation to quantify the benefit of
+  pipelining.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class FrameTimeline:
+    """Start/end times of one frame's two stage groups, in seconds."""
+
+    frame_index: int
+    stage12_start: float
+    stage12_end: float
+    stage3_start: float
+    stage3_end: float
+
+    @property
+    def latency(self) -> float:
+        """Time from the frame entering the pipeline to its pixels being done."""
+        return self.stage3_end - self.stage12_start
+
+
+@dataclass(frozen=True)
+class ScheduleResult:
+    """Outcome of scheduling a sequence of frames."""
+
+    timelines: List[FrameTimeline]
+    stage12_time: float
+    stage3_time: float
+    pipelined: bool
+
+    @property
+    def num_frames(self) -> int:
+        """Number of frames scheduled."""
+        return len(self.timelines)
+
+    @property
+    def makespan(self) -> float:
+        """Completion time of the last frame."""
+        if not self.timelines:
+            return 0.0
+        return self.timelines[-1].stage3_end
+
+    @property
+    def steady_state_interval(self) -> float:
+        """Time between successive frame completions once the pipeline fills."""
+        if self.pipelined:
+            return max(self.stage12_time, self.stage3_time)
+        return self.stage12_time + self.stage3_time
+
+    @property
+    def fps(self) -> float:
+        """Steady-state frames per second."""
+        interval = self.steady_state_interval
+        if interval == 0:
+            return float("inf")
+        return 1.0 / interval
+
+    @property
+    def throughput_fps(self) -> float:
+        """Average FPS over the scheduled frames (includes pipeline fill)."""
+        if self.makespan == 0:
+            return float("inf")
+        return self.num_frames / self.makespan
+
+    @property
+    def frame_latency(self) -> float:
+        """Latency of one frame (identical for every frame in steady state)."""
+        return self.stage12_time + self.stage3_time
+
+    @property
+    def cuda_utilization(self) -> float:
+        """Fraction of the makespan the CUDA cores are busy."""
+        if self.makespan == 0:
+            return 0.0
+        return self.num_frames * self.stage12_time / self.makespan
+
+    @property
+    def rasterizer_utilization(self) -> float:
+        """Fraction of the makespan the rasterizer is busy."""
+        if self.makespan == 0:
+            return 0.0
+        return self.num_frames * self.stage3_time / self.makespan
+
+
+def _validate(stage12_time: float, stage3_time: float, num_frames: int) -> None:
+    if stage12_time < 0 or stage3_time < 0:
+        raise ValueError("stage times must be non-negative")
+    if num_frames <= 0:
+        raise ValueError("num_frames must be positive")
+
+
+def schedule_frames(
+    stage12_time: float, stage3_time: float, num_frames: int = 8
+) -> ScheduleResult:
+    """Build the pipelined (CUDA-collaborative) schedule of Fig. 8.
+
+    The CUDA cores process Stages 1-2 of consecutive frames back to back
+    except when the rasterizer still holds the previous frame's data (the
+    hand-off is double-buffered one frame deep); the rasterizer starts a
+    frame's Stage 3 as soon as both its Stages 1-2 are done and the previous
+    frame has left the rasterizer.
+    """
+    _validate(stage12_time, stage3_time, num_frames)
+
+    timelines: List[FrameTimeline] = []
+    cuda_free = 0.0
+    rasterizer_free = 0.0
+    for frame in range(num_frames):
+        stage12_start = cuda_free
+        stage12_end = stage12_start + stage12_time
+        stage3_start = max(stage12_end, rasterizer_free)
+        stage3_end = stage3_start + stage3_time
+
+        # The CUDA cores may start the next frame immediately after handing
+        # this one off; the single-frame hand-off buffer means they never
+        # run more than one frame ahead of the rasterizer.
+        cuda_free = max(stage12_end, stage3_start - stage12_time)
+        rasterizer_free = stage3_end
+        timelines.append(
+            FrameTimeline(
+                frame_index=frame,
+                stage12_start=stage12_start,
+                stage12_end=stage12_end,
+                stage3_start=stage3_start,
+                stage3_end=stage3_end,
+            )
+        )
+    return ScheduleResult(
+        timelines=timelines,
+        stage12_time=stage12_time,
+        stage3_time=stage3_time,
+        pipelined=True,
+    )
+
+
+def serial_schedule(
+    stage12_time: float, stage3_time: float, num_frames: int = 8
+) -> ScheduleResult:
+    """Build the non-overlapped schedule (no cross-frame pipelining)."""
+    _validate(stage12_time, stage3_time, num_frames)
+
+    timelines: List[FrameTimeline] = []
+    clock = 0.0
+    for frame in range(num_frames):
+        stage12_start = clock
+        stage12_end = stage12_start + stage12_time
+        stage3_start = stage12_end
+        stage3_end = stage3_start + stage3_time
+        clock = stage3_end
+        timelines.append(
+            FrameTimeline(
+                frame_index=frame,
+                stage12_start=stage12_start,
+                stage12_end=stage12_end,
+                stage3_start=stage3_start,
+                stage3_end=stage3_end,
+            )
+        )
+    return ScheduleResult(
+        timelines=timelines,
+        stage12_time=stage12_time,
+        stage3_time=stage3_time,
+        pipelined=False,
+    )
+
+
+def steady_state_fps(stage12_time: float, stage3_time: float) -> float:
+    """Steady-state FPS of the pipelined schedule without building a timeline."""
+    _validate(stage12_time, stage3_time, 1)
+    interval = max(stage12_time, stage3_time)
+    if interval == 0:
+        return float("inf")
+    return 1.0 / interval

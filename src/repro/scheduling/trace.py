@@ -1,0 +1,140 @@
+"""Trace-driven scheduling: frame sequences with per-frame workloads.
+
+The steady-state analysis in :mod:`repro.scheduling.collaborative` assumes
+every frame costs the same.  Real applications (a robot driving through a
+scene, a user turning their head in VR) produce viewpoint-dependent
+workloads, so this module schedules a *trace* — a sequence of per-frame
+(stage 1-2, stage 3) durations — through the same two-resource pipeline and
+reports latency and frame-rate statistics over the trace.  It is the tool
+behind latency-sensitive analyses such as "does every frame of this
+trajectory meet its deadline?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.baselines.jetson import JetsonOrinNX
+from repro.hardware.multi import ScaledGauRast
+from repro.profiling.workload import WorkloadStatistics
+from repro.scheduling.collaborative import FrameTimeline
+
+
+@dataclass(frozen=True)
+class TraceStatistics:
+    """Latency/throughput statistics of a scheduled frame trace."""
+
+    timelines: List[FrameTimeline]
+    pipelined: bool
+
+    @property
+    def num_frames(self) -> int:
+        """Number of frames in the trace."""
+        return len(self.timelines)
+
+    @property
+    def makespan(self) -> float:
+        """Completion time of the last frame."""
+        if not self.timelines:
+            return 0.0
+        return max(t.stage3_end for t in self.timelines)
+
+    @property
+    def mean_fps(self) -> float:
+        """Average throughput over the trace."""
+        if self.makespan == 0:
+            return float("inf")
+        return self.num_frames / self.makespan
+
+    @property
+    def latencies(self) -> List[float]:
+        """Per-frame latency (input available to pixels done)."""
+        return [t.latency for t in self.timelines]
+
+    @property
+    def mean_latency(self) -> float:
+        """Average frame latency."""
+        if not self.timelines:
+            return 0.0
+        return sum(self.latencies) / self.num_frames
+
+    @property
+    def worst_latency(self) -> float:
+        """Worst-case frame latency."""
+        if not self.timelines:
+            return 0.0
+        return max(self.latencies)
+
+    def deadline_miss_rate(self, deadline_s: float) -> float:
+        """Fraction of frames whose latency exceeds ``deadline_s``."""
+        if deadline_s <= 0:
+            raise ValueError("deadline_s must be positive")
+        if not self.timelines:
+            return 0.0
+        misses = sum(1 for latency in self.latencies if latency > deadline_s)
+        return misses / self.num_frames
+
+
+def schedule_trace(
+    frame_times: Sequence[Tuple[float, float]],
+    pipelined: bool = True,
+) -> TraceStatistics:
+    """Schedule a sequence of per-frame (stage 1-2, stage 3) durations.
+
+    With ``pipelined=True`` the CUDA cores and the rasterizer overlap across
+    frames exactly as in :func:`repro.scheduling.collaborative.schedule_frames`;
+    with ``pipelined=False`` each frame runs its stages back to back.
+    """
+    if not frame_times:
+        raise ValueError("frame_times must contain at least one frame")
+
+    timelines: List[FrameTimeline] = []
+    cuda_free = 0.0
+    rasterizer_free = 0.0
+    for index, (stage12, stage3) in enumerate(frame_times):
+        if stage12 < 0 or stage3 < 0:
+            raise ValueError("stage times must be non-negative")
+        stage12_start = cuda_free
+        stage12_end = stage12_start + stage12
+        stage3_start = max(stage12_end, rasterizer_free)
+        stage3_end = stage3_start + stage3
+
+        if pipelined:
+            cuda_free = max(stage12_end, stage3_start - stage12)
+        else:
+            cuda_free = stage3_end
+        rasterizer_free = stage3_end
+        timelines.append(
+            FrameTimeline(
+                frame_index=index,
+                stage12_start=stage12_start,
+                stage12_end=stage12_end,
+                stage3_start=stage3_start,
+                stage3_end=stage3_end,
+            )
+        )
+    return TraceStatistics(timelines=timelines, pipelined=pipelined)
+
+
+def schedule_workload_trace(
+    workloads: Iterable[WorkloadStatistics],
+    baseline: Optional[JetsonOrinNX] = None,
+    rasterizer: Optional[ScaledGauRast] = None,
+    pipelined: bool = True,
+) -> TraceStatistics:
+    """Schedule a trace of per-frame workloads on the GauRast-enhanced SoC.
+
+    Stages 1-2 of each frame are timed with the baseline CUDA model, Stage 3
+    with the GauRast throughput model, then the per-frame durations are fed
+    through :func:`schedule_trace`.
+    """
+    baseline = baseline or JetsonOrinNX()
+    rasterizer = rasterizer or ScaledGauRast()
+    frame_times = []
+    for workload in workloads:
+        stage_times = baseline.stage_times(workload)
+        frame_times.append(
+            (stage_times.non_rasterize, rasterizer.estimate_runtime(workload))
+        )
+    return schedule_trace(frame_times, pipelined=pipelined)

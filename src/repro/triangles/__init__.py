@@ -1,0 +1,23 @@
+"""Triangle-mesh rendering substrate.
+
+The GPU's fixed-function rasterizer that GauRast enhances exists to serve
+triangle meshes, so the reproduction includes a complete (if compact)
+software triangle pipeline: mesh representation, vertex transformation, and
+an edge-function rasterizer with barycentric UV interpolation and a z-buffer.
+Its per-fragment operator structure matches the left column of Table II
+(coordinate shift, intersection detection, UV weight computation, min-depth
+colour hold) and is the golden model for the PE's triangle mode.
+"""
+
+from repro.triangles.mesh import TriangleMesh, make_cube, make_plane
+from repro.triangles.raster import TriangleRasterStats, rasterize_mesh
+from repro.triangles.transform import transform_to_screen
+
+__all__ = [
+    "TriangleMesh",
+    "TriangleRasterStats",
+    "make_cube",
+    "make_plane",
+    "rasterize_mesh",
+    "transform_to_screen",
+]

@@ -1,0 +1,164 @@
+"""Triangle mesh representation and simple procedural meshes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class TriangleMesh:
+    """An indexed triangle mesh.
+
+    Attributes
+    ----------
+    vertices:
+        ``(V, 3)`` vertex positions in object/world space.
+    faces:
+        ``(F, 3)`` integer vertex indices per triangle.
+    vertex_colors:
+        ``(V, 3)`` per-vertex RGB colours (defaults to white).
+    uvs:
+        ``(V, 2)`` per-vertex texture coordinates (defaults to zeros); the
+        rasterizer interpolates these with the barycentric "UV weights" of
+        Table II.
+    """
+
+    vertices: np.ndarray
+    faces: np.ndarray
+    vertex_colors: Optional[np.ndarray] = None
+    uvs: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        self.vertices = np.asarray(self.vertices, dtype=np.float64)
+        self.faces = np.asarray(self.faces, dtype=np.int64)
+        if self.vertices.ndim != 2 or self.vertices.shape[1] != 3:
+            raise ValueError("vertices must have shape (V, 3)")
+        if self.faces.ndim != 2 or self.faces.shape[1] != 3:
+            raise ValueError("faces must have shape (F, 3)")
+        if len(self.faces) and (
+            self.faces.min() < 0 or self.faces.max() >= len(self.vertices)
+        ):
+            raise ValueError("face indices out of range")
+
+        if self.vertex_colors is None:
+            self.vertex_colors = np.ones((len(self.vertices), 3), dtype=np.float64)
+        else:
+            self.vertex_colors = np.asarray(self.vertex_colors, dtype=np.float64)
+            if self.vertex_colors.shape != (len(self.vertices), 3):
+                raise ValueError("vertex_colors must have shape (V, 3)")
+
+        if self.uvs is None:
+            self.uvs = np.zeros((len(self.vertices), 2), dtype=np.float64)
+        else:
+            self.uvs = np.asarray(self.uvs, dtype=np.float64)
+            if self.uvs.shape != (len(self.vertices), 2):
+                raise ValueError("uvs must have shape (V, 2)")
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices."""
+        return len(self.vertices)
+
+    @property
+    def num_triangles(self) -> int:
+        """Number of triangles."""
+        return len(self.faces)
+
+    def triangle_vertices(self) -> np.ndarray:
+        """Return the ``(F, 3, 3)`` vertex positions gathered per triangle."""
+        return self.vertices[self.faces]
+
+    def transformed(self, matrix: np.ndarray) -> "TriangleMesh":
+        """Return a copy with vertices transformed by a 4x4 matrix."""
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.shape != (4, 4):
+            raise ValueError("matrix must be 4x4")
+        homogeneous = np.concatenate(
+            [self.vertices, np.ones((len(self.vertices), 1))], axis=1
+        )
+        transformed = homogeneous @ matrix.T
+        w = transformed[:, 3:4]
+        w = np.where(np.abs(w) < 1e-12, 1e-12, w)
+        return TriangleMesh(
+            vertices=transformed[:, :3] / w,
+            faces=self.faces.copy(),
+            vertex_colors=self.vertex_colors.copy(),
+            uvs=self.uvs.copy(),
+        )
+
+
+def make_plane(size: float = 1.0, color=(0.8, 0.8, 0.8)) -> TriangleMesh:
+    """A unit plane in the XY plane made of two triangles."""
+    half = size / 2.0
+    vertices = np.array(
+        [
+            [-half, -half, 0.0],
+            [half, -half, 0.0],
+            [half, half, 0.0],
+            [-half, half, 0.0],
+        ]
+    )
+    faces = np.array([[0, 1, 2], [0, 2, 3]])
+    colors = np.tile(np.asarray(color, dtype=np.float64), (4, 1))
+    uvs = np.array([[0.0, 0.0], [1.0, 0.0], [1.0, 1.0], [0.0, 1.0]])
+    return TriangleMesh(vertices, faces, colors, uvs)
+
+
+def make_cube(size: float = 1.0) -> TriangleMesh:
+    """A cube with per-face colours, useful for occlusion tests."""
+    half = size / 2.0
+    corners = np.array(
+        [
+            [-half, -half, -half],
+            [half, -half, -half],
+            [half, half, -half],
+            [-half, half, -half],
+            [-half, -half, half],
+            [half, -half, half],
+            [half, half, half],
+            [-half, half, half],
+        ]
+    )
+    # Each face gets its own four vertices so colours stay flat per face.
+    face_quads = [
+        (0, 1, 2, 3),  # back
+        (5, 4, 7, 6),  # front
+        (4, 0, 3, 7),  # left
+        (1, 5, 6, 2),  # right
+        (3, 2, 6, 7),  # top
+        (4, 5, 1, 0),  # bottom
+    ]
+    face_colors = np.array(
+        [
+            [0.9, 0.2, 0.2],
+            [0.2, 0.9, 0.2],
+            [0.2, 0.2, 0.9],
+            [0.9, 0.9, 0.2],
+            [0.2, 0.9, 0.9],
+            [0.9, 0.2, 0.9],
+        ]
+    )
+    quad_uvs = np.array([[0.0, 0.0], [1.0, 0.0], [1.0, 1.0], [0.0, 1.0]])
+
+    vertices = []
+    faces = []
+    colors = []
+    uvs = []
+    for face_index, quad in enumerate(face_quads):
+        base = len(vertices)
+        for corner_index, corner in enumerate(quad):
+            vertices.append(corners[corner])
+            colors.append(face_colors[face_index])
+            uvs.append(quad_uvs[corner_index])
+        faces.append([base, base + 1, base + 2])
+        faces.append([base, base + 2, base + 3])
+
+    return TriangleMesh(
+        vertices=np.array(vertices),
+        faces=np.array(faces),
+        vertex_colors=np.array(colors),
+        uvs=np.array(uvs),
+    )

@@ -1,0 +1,82 @@
+"""Vertex transformation for the triangle pipeline.
+
+Maps world-space mesh vertices through the camera into screen space.  The
+output bundles, per triangle, the nine floating-point numbers of Table II's
+left column ("Vertices' Coordinates"): three screen-space vertices of
+(x, y, depth) each, ready for the rasterizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gaussians.camera import Camera
+from repro.triangles.mesh import TriangleMesh
+
+
+@dataclass
+class ScreenTriangles:
+    """Screen-space triangles ready for rasterization.
+
+    Attributes
+    ----------
+    vertices:
+        ``(F, 3, 3)`` per-triangle screen-space vertices ``(x, y, depth)``.
+    colors:
+        ``(F, 3, 3)`` per-triangle vertex colours.
+    uvs:
+        ``(F, 3, 2)`` per-triangle vertex texture coordinates.
+    """
+
+    vertices: np.ndarray
+    colors: np.ndarray
+    uvs: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.vertices)
+
+    def raster_inputs(self) -> np.ndarray:
+        """Pack the 9 floating-point rasterizer inputs of Table II.
+
+        Returns an ``(F, 9)`` array laid out as
+        ``[x0, y0, z0, x1, y1, z1, x2, y2, z2]``.
+        """
+        return self.vertices.reshape(len(self.vertices), 9)
+
+
+def transform_to_screen(mesh: TriangleMesh, camera: Camera) -> ScreenTriangles:
+    """Project a mesh into screen space and cull triangles behind the camera.
+
+    Triangles with any vertex behind the near plane are dropped (no clipping
+    is performed — the substrate only needs well-behaved test content), as
+    are triangles completely outside the image.
+    """
+    pixels, depths = camera.project(mesh.vertices)
+
+    face_pixels = pixels[mesh.faces]  # (F, 3, 2)
+    face_depths = depths[mesh.faces]  # (F, 3)
+    face_colors = mesh.vertex_colors[mesh.faces]
+    face_uvs = mesh.uvs[mesh.faces]
+
+    in_front = np.all(face_depths > camera.znear, axis=1)
+
+    min_xy = face_pixels.min(axis=1)
+    max_xy = face_pixels.max(axis=1)
+    on_screen = (
+        (max_xy[:, 0] >= 0)
+        & (min_xy[:, 0] <= camera.width)
+        & (max_xy[:, 1] >= 0)
+        & (min_xy[:, 1] <= camera.height)
+    )
+
+    keep = in_front & on_screen
+    screen_vertices = np.concatenate(
+        [face_pixels[keep], face_depths[keep][:, :, np.newaxis]], axis=2
+    )
+    return ScreenTriangles(
+        vertices=screen_vertices,
+        colors=face_colors[keep],
+        uvs=face_uvs[keep],
+    )

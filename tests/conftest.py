@@ -1,0 +1,69 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gaussians.camera import Camera, look_at
+from repro.gaussians.gaussian import GaussianCloud, ProjectedGaussians
+from repro.gaussians.pipeline import render
+from repro.gaussians.scene import GaussianScene
+from repro.gaussians.sh import rgb_to_sh_dc
+from repro.gaussians.synthetic import SyntheticConfig, make_synthetic_scene
+
+
+@pytest.fixture
+def small_camera() -> Camera:
+    """A small camera looking down the +z axis."""
+    return Camera(width=64, height=48, fx=60.0, fy=60.0)
+
+
+@pytest.fixture
+def tiny_cloud() -> GaussianCloud:
+    """Three Gaussians in front of the origin camera with distinct colours."""
+    positions = np.array(
+        [
+            [0.0, 0.0, 3.0],
+            [0.4, 0.1, 4.0],
+            [-0.3, -0.2, 5.0],
+        ]
+    )
+    scales = np.full((3, 3), 0.15)
+    rotations = np.tile([1.0, 0.0, 0.0, 0.0], (3, 1))
+    opacities = np.array([0.9, 0.8, 0.7])
+    colors = np.array([[0.9, 0.1, 0.1], [0.1, 0.9, 0.1], [0.1, 0.1, 0.9]])
+    sh = rgb_to_sh_dc(colors)[:, np.newaxis, :]
+    return GaussianCloud(
+        positions=positions,
+        scales=scales,
+        rotations=rotations,
+        opacities=opacities,
+        sh_coeffs=sh,
+    )
+
+
+@pytest.fixture
+def tiny_scene(tiny_cloud, small_camera) -> GaussianScene:
+    """A three-Gaussian scene with one camera."""
+    return GaussianScene(cloud=tiny_cloud, cameras=[small_camera], name="tiny")
+
+
+@pytest.fixture
+def synthetic_scene() -> GaussianScene:
+    """A moderately sized synthetic scene for integration tests."""
+    config = SyntheticConfig(num_gaussians=400, width=96, height=64, seed=7)
+    return make_synthetic_scene(config, name="synthetic-test")
+
+
+@pytest.fixture
+def synthetic_render(synthetic_scene):
+    """Functional render of the synthetic scene (shared across tests)."""
+    return render(synthetic_scene)
+
+
+@pytest.fixture
+def projected_tiny(tiny_scene) -> ProjectedGaussians:
+    """Projected Gaussians of the tiny scene."""
+    result = render(tiny_scene)
+    return result.projected

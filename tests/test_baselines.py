@@ -1,0 +1,139 @@
+"""Tests for the baseline platform models (Orin NX, GSCore, M2 Pro)."""
+
+import pytest
+
+from repro.baselines.gpu_model import CudaGpuModel
+from repro.baselines.gscore import GScoreModel, make_xavier_nx_model
+from repro.baselines.jetson import JetsonOrinNX, make_orin_nx_model
+from repro.baselines.m2pro import AppleM2Pro
+from repro.datasets.nerf360 import get_scene, iter_scenes
+from repro.profiling.workload import WorkloadStatistics
+
+
+def _workload(scene="bicycle", algorithm="original"):
+    return WorkloadStatistics.from_descriptor(get_scene(scene), algorithm)
+
+
+class TestCudaGpuModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CudaGpuModel(name="bad", num_cores=0, core_clock_hz=1e9)
+        with pytest.raises(ValueError):
+            CudaGpuModel(name="bad", num_cores=8, core_clock_hz=1e9,
+                         raster_cycles_per_fragment=0)
+
+    def test_fragment_rate(self):
+        model = CudaGpuModel(name="x", num_cores=100, core_clock_hz=1e9,
+                             raster_cycles_per_fragment=100)
+        assert model.fragments_per_second == pytest.approx(1e9)
+
+    def test_stage_times_positive_and_summable(self):
+        model = make_orin_nx_model()
+        times = model.stage_times(_workload())
+        assert times.preprocess > 0
+        assert times.sort > 0
+        assert times.rasterize > 0
+        assert times.total == pytest.approx(
+            times.preprocess + times.sort + times.rasterize
+        )
+        assert times.fps == pytest.approx(1.0 / times.total)
+        assert times.non_rasterize == pytest.approx(times.preprocess + times.sort)
+
+    def test_rasterization_energy(self):
+        model = make_orin_nx_model()
+        workload = _workload()
+        assert model.rasterization_energy(workload) == pytest.approx(
+            model.rasterization_time(workload) * model.raster_power_w
+        )
+
+
+class TestJetsonOrinNX:
+    def test_table3_baseline_runtimes_are_reproduced(self):
+        # Paper Table III: 321/149/232/236/216/269/147 ms.
+        expected_ms = {
+            "bicycle": 321, "stump": 149, "garden": 232, "room": 236,
+            "counter": 216, "kitchen": 269, "bonsai": 147,
+        }
+        baseline = JetsonOrinNX()
+        for scene, expected in expected_ms.items():
+            measured = baseline.rasterization_time(_workload(scene)) * 1e3
+            assert measured == pytest.approx(expected, rel=0.03)
+
+    def test_baseline_fps_is_a_few_frames_per_second(self):
+        baseline = JetsonOrinNX()
+        for descriptor in iter_scenes():
+            fps = baseline.fps(
+                WorkloadStatistics.from_descriptor(descriptor, "original")
+            )
+            assert 2.0 <= fps <= 6.5
+
+    def test_rasterization_dominates_runtime(self):
+        baseline = JetsonOrinNX()
+        fractions = [
+            baseline.stage_times(
+                WorkloadStatistics.from_descriptor(descriptor, "original")
+            ).rasterize_fraction
+            for descriptor in iter_scenes()
+        ]
+        assert min(fractions) > 0.75
+        assert sum(fractions) / len(fractions) > 0.80
+
+    def test_optimized_pipeline_is_faster_on_baseline(self):
+        baseline = JetsonOrinNX()
+        original = baseline.frame_time(_workload("garden", "original"))
+        optimized = baseline.frame_time(_workload("garden", "optimized"))
+        assert optimized < original
+
+    def test_power_limit_and_name(self):
+        baseline = JetsonOrinNX()
+        assert baseline.power_limit_w == pytest.approx(10.0)
+        assert "orin" in baseline.name
+
+
+class TestGScore:
+    def test_published_characteristics(self):
+        gscore = GScoreModel()
+        assert gscore.area_mm2 == pytest.approx(3.95)
+        assert gscore.speedup_over_host == pytest.approx(20.0)
+        assert gscore.precision == "fp16"
+
+    def test_host_is_slower_than_orin(self):
+        xavier = make_xavier_nx_model()
+        orin = make_orin_nx_model()
+        assert xavier.fragments_per_second < orin.fragments_per_second
+
+    def test_rasterization_time_is_host_divided_by_speedup(self):
+        gscore = GScoreModel()
+        workload = _workload()
+        host_time = gscore.host.rasterization_time(workload)
+        assert gscore.rasterization_time(workload) == pytest.approx(
+            host_time / gscore.speedup_over_host
+        )
+
+    def test_area_efficiency_positive(self):
+        assert GScoreModel().area_efficiency() > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GScoreModel(speedup_over_host=0)
+        with pytest.raises(ValueError):
+            GScoreModel(area_mm2=-1)
+
+
+class TestAppleM2Pro:
+    def test_published_compute_ratio(self):
+        assert AppleM2Pro().fp32_ratio == pytest.approx(2.6)
+
+    def test_software_rasterization_faster_than_orin_but_not_by_full_ratio(self):
+        m2 = AppleM2Pro()
+        workload = _workload()
+        orin_time = m2.reference.rasterization_time(workload)
+        m2_time = m2.rasterization_time(workload)
+        assert m2_time < orin_time
+        assert m2_time > orin_time / m2.fp32_ratio  # OpenSplat inefficiency
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AppleM2Pro(fp32_ratio=0)
+        with pytest.raises(ValueError):
+            AppleM2Pro(software_efficiency=1.5)

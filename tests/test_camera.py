@@ -1,0 +1,115 @@
+"""Tests for the pinhole camera model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gaussians.camera import Camera, look_at
+
+
+class TestCameraConstruction:
+    def test_principal_point_defaults_to_center(self):
+        camera = Camera(width=640, height=480, fx=500.0, fy=500.0)
+        assert camera.cx == 320.0
+        assert camera.cy == 240.0
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            Camera(width=0, height=480, fx=500.0, fy=500.0)
+        with pytest.raises(ValueError):
+            Camera(width=640, height=480, fx=-1.0, fy=500.0)
+
+    def test_invalid_clip_planes_rejected(self):
+        with pytest.raises(ValueError):
+            Camera(width=64, height=64, fx=50, fy=50, znear=1.0, zfar=0.5)
+
+    def test_world_to_camera_must_be_4x4(self):
+        with pytest.raises(ValueError):
+            Camera(width=64, height=64, fx=50, fy=50, world_to_camera=np.eye(3))
+
+
+class TestProjection:
+    def test_point_on_axis_projects_to_principal_point(self):
+        camera = Camera(width=100, height=80, fx=90.0, fy=90.0)
+        pixels, depths = camera.project(np.array([[0.0, 0.0, 2.0]]))
+        assert pixels[0] == pytest.approx([camera.cx, camera.cy])
+        assert depths[0] == pytest.approx(2.0)
+
+    def test_projection_scales_inversely_with_depth(self):
+        camera = Camera(width=100, height=80, fx=90.0, fy=90.0)
+        near, _ = camera.project(np.array([[0.5, 0.0, 1.0]]))
+        far, _ = camera.project(np.array([[0.5, 0.0, 2.0]]))
+        near_offset = near[0, 0] - camera.cx
+        far_offset = far[0, 0] - camera.cx
+        assert near_offset == pytest.approx(2.0 * far_offset)
+
+    def test_camera_center_is_origin_for_identity_extrinsics(self):
+        camera = Camera(width=64, height=64, fx=50.0, fy=50.0)
+        assert camera.camera_center == pytest.approx([0.0, 0.0, 0.0])
+
+    def test_to_camera_space_applies_translation(self):
+        pose = np.eye(4)
+        pose[:3, 3] = [1.0, -2.0, 3.0]
+        camera = Camera(width=64, height=64, fx=50.0, fy=50.0, world_to_camera=pose)
+        transformed = camera.to_camera_space(np.array([[0.0, 0.0, 0.0]]))
+        assert transformed[0] == pytest.approx([1.0, -2.0, 3.0])
+
+    def test_tan_half_fov(self):
+        camera = Camera(width=100, height=50, fx=100.0, fy=100.0)
+        tan_x, tan_y = camera.tan_half_fov
+        assert tan_x == pytest.approx(0.5)
+        assert tan_y == pytest.approx(0.25)
+
+    def test_projection_matrix_maps_near_plane(self):
+        camera = Camera(width=64, height=64, fx=64.0, fy=64.0, znear=0.1, zfar=100.0)
+        matrix = camera.projection_matrix()
+        point = np.array([0.0, 0.0, camera.znear, 1.0])
+        clip = matrix @ point
+        ndc_z = clip[2] / clip[3]
+        assert ndc_z == pytest.approx(-1.0, abs=1e-9)
+
+    def test_full_projection_combines_extrinsics(self):
+        pose = look_at(eye=(0, 0, -5), target=(0, 0, 0))
+        camera = Camera(width=64, height=64, fx=60, fy=60, world_to_camera=pose)
+        full = camera.full_projection()
+        assert full.shape == (4, 4)
+        assert np.allclose(full, camera.projection_matrix() @ pose)
+
+
+class TestLookAt:
+    def test_target_is_straight_ahead(self):
+        pose = look_at(eye=(0.0, 0.0, -3.0), target=(0.0, 0.0, 1.0))
+        camera = Camera(width=64, height=64, fx=60.0, fy=60.0, world_to_camera=pose)
+        pixels, depths = camera.project(np.array([[0.0, 0.0, 1.0]]))
+        assert depths[0] == pytest.approx(4.0)
+        assert pixels[0] == pytest.approx([camera.cx, camera.cy])
+
+    def test_rotation_is_orthonormal(self):
+        pose = look_at(eye=(1.0, 2.0, 3.0), target=(-2.0, 0.5, 7.0))
+        rotation = pose[:3, :3]
+        assert np.allclose(rotation @ rotation.T, np.eye(3), atol=1e-12)
+        assert np.linalg.det(rotation) == pytest.approx(1.0)
+
+    def test_eye_equals_target_rejected(self):
+        with pytest.raises(ValueError):
+            look_at(eye=(1.0, 1.0, 1.0), target=(1.0, 1.0, 1.0))
+
+    def test_up_parallel_to_view_rejected(self):
+        with pytest.raises(ValueError):
+            look_at(eye=(0, 0, 0), target=(0, 1, 0), up=(0, 1, 0))
+
+    @given(
+        eye=st.lists(
+            st.floats(min_value=-10, max_value=10, allow_nan=False),
+            min_size=3,
+            max_size=3,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_camera_center_recovers_eye(self, eye):
+        eye = np.asarray(eye)
+        target = eye + np.array([0.3, -0.2, 1.0])
+        pose = look_at(eye=eye, target=target)
+        camera = Camera(width=32, height=32, fx=30, fy=30, world_to_camera=pose)
+        assert camera.camera_center == pytest.approx(eye, abs=1e-9)

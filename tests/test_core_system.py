@@ -1,0 +1,157 @@
+"""Tests for the metric containers and the top-level GauRastSystem API.
+
+The paper-shape assertions live here: average rasterization speedup ~23x,
+energy improvement ~24x, end-to-end 6x / 4x, 24 / 46 FPS averages.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.gaurast import GauRastSystem
+from repro.core.metrics import (
+    EndToEndComparison,
+    RasterizationComparison,
+    arithmetic_mean,
+    geometric_mean,
+)
+from repro.datasets.nerf360 import SCENE_NAMES, get_scene
+from repro.gaussians.pipeline import render
+from repro.hardware.config import GauRastConfig
+
+
+class TestMeans:
+    def test_arithmetic_mean(self):
+        assert arithmetic_mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_empty_sequences_rejected(self):
+        with pytest.raises(ValueError):
+            arithmetic_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_geometric_mean_requires_positive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -2.0])
+
+
+class TestComparisons:
+    def test_rasterization_comparison_ratios(self):
+        comparison = RasterizationComparison(
+            scene_name="s", algorithm="original",
+            baseline_time_s=0.3, gaurast_time_s=0.015,
+            baseline_energy_j=1.5, gaurast_energy_j=0.05,
+        )
+        assert comparison.speedup == pytest.approx(20.0)
+        assert comparison.energy_improvement == pytest.approx(30.0)
+
+    def test_end_to_end_comparison(self):
+        comparison = EndToEndComparison(
+            scene_name="s", algorithm="original",
+            baseline_frame_time_s=0.25,
+            gaurast_frame_interval_s=0.04,
+            gaurast_frame_latency_s=0.055,
+        )
+        assert comparison.baseline_fps == pytest.approx(4.0)
+        assert comparison.gaurast_fps == pytest.approx(25.0)
+        assert comparison.speedup == pytest.approx(6.25)
+
+
+class TestSceneEvaluation:
+    def test_single_scene_evaluation_is_consistent(self):
+        system = GauRastSystem()
+        evaluation = system.evaluate_scene("bicycle")
+        assert evaluation.scene_name == "bicycle"
+        assert evaluation.algorithm == "original"
+        assert evaluation.rasterization.baseline_time_s == pytest.approx(
+            evaluation.stage_times.rasterize
+        )
+        assert evaluation.estimate is not None
+        assert evaluation.rasterization.gaurast_time_s == pytest.approx(
+            evaluation.estimate.runtime_seconds
+        )
+
+    def test_descriptor_and_name_lookups_agree(self):
+        system = GauRastSystem()
+        by_name = system.evaluate_scene("garden")
+        by_descriptor = system.evaluate_scene(get_scene("garden"))
+        assert by_name.rasterization.speedup == pytest.approx(
+            by_descriptor.rasterization.speedup
+        )
+
+    def test_evaluate_all_covers_every_scene(self):
+        system = GauRastSystem()
+        evaluations = system.evaluate_all()
+        assert tuple(e.scene_name for e in evaluations) == SCENE_NAMES
+
+
+class TestPaperShapes:
+    """The headline numbers the paper reports (tolerant ranges)."""
+
+    @pytest.fixture(scope="class")
+    def system(self):
+        return GauRastSystem()
+
+    @pytest.fixture(scope="class")
+    def original_summary(self, system):
+        return system.summary("original")
+
+    @pytest.fixture(scope="class")
+    def optimized_summary(self, system):
+        return system.summary("optimized")
+
+    def test_rasterization_speedup_about_23x(self, original_summary):
+        assert 20.0 <= original_summary["mean_raster_speedup"] <= 27.0
+
+    def test_energy_improvement_about_24x(self, original_summary):
+        assert 20.0 <= original_summary["mean_energy_improvement"] <= 30.0
+
+    def test_baseline_fps_2_to_5(self, original_summary):
+        assert 2.0 <= original_summary["mean_baseline_fps"] <= 5.5
+
+    def test_end_to_end_speedup_about_6x(self, original_summary):
+        assert 5.0 <= original_summary["mean_end_to_end_speedup"] <= 8.0
+
+    def test_gaurast_fps_about_24(self, original_summary):
+        assert 20.0 <= original_summary["mean_gaurast_fps"] <= 30.0
+
+    def test_optimized_speedup_about_20x(self, optimized_summary):
+        assert 17.0 <= optimized_summary["mean_raster_speedup"] <= 23.0
+
+    def test_optimized_energy_about_22x(self, optimized_summary):
+        assert 17.0 <= optimized_summary["mean_energy_improvement"] <= 26.0
+
+    def test_optimized_end_to_end_about_4x(self, optimized_summary):
+        assert 3.3 <= optimized_summary["mean_end_to_end_speedup"] <= 5.5
+
+    def test_optimized_fps_about_46(self, optimized_summary):
+        assert 40.0 <= optimized_summary["mean_gaurast_fps"] <= 55.0
+
+    def test_table3_gaurast_runtimes(self, system):
+        expected_ms = {
+            "bicycle": 15.0, "stump": 6.0, "garden": 9.6, "room": 10.5,
+            "counter": 9.8, "kitchen": 12.2, "bonsai": 5.5,
+        }
+        for evaluation in system.evaluate_all("original"):
+            measured = evaluation.rasterization.gaurast_time_s * 1e3
+            assert measured == pytest.approx(
+                expected_ms[evaluation.scene_name], rel=0.10
+            )
+
+    def test_speedup_lower_for_optimized_pipeline(self, system):
+        for original, optimized in zip(
+            system.evaluate_all("original"), system.evaluate_all("optimized")
+        ):
+            assert optimized.rasterization.speedup < original.rasterization.speedup
+
+
+class TestHardwareRendering:
+    def test_render_matches_functional_pipeline(self, synthetic_scene):
+        system = GauRastSystem(config=GauRastConfig(num_instances=2))
+        hw_image, report = system.render(synthetic_scene)
+        sw_image = render(synthetic_scene).image
+        assert hw_image.shape == sw_image.shape
+        assert np.max(np.abs(hw_image - sw_image)) < 1e-4
+        assert report.frame_cycles > 0

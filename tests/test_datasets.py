@@ -1,0 +1,124 @@
+"""Tests for the NeRF-360 scene descriptors."""
+
+import pytest
+
+from repro.datasets.nerf360 import (
+    SCENE_NAMES,
+    SCENES,
+    AlgorithmWorkload,
+    SceneDescriptor,
+    TILE_SIZE,
+    get_scene,
+    iter_scenes,
+)
+
+
+class TestSceneCatalogue:
+    def test_seven_scenes(self):
+        assert len(SCENES) == 7
+        assert set(SCENE_NAMES) == {
+            "bicycle",
+            "stump",
+            "garden",
+            "room",
+            "counter",
+            "kitchen",
+            "bonsai",
+        }
+
+    def test_iter_scenes_order_matches_names(self):
+        assert tuple(s.name for s in iter_scenes()) == SCENE_NAMES
+
+    def test_get_scene_is_case_insensitive(self):
+        assert get_scene("Bicycle") is SCENES["bicycle"]
+
+    def test_get_scene_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown NeRF-360 scene"):
+            get_scene("fortress")
+
+    def test_categories(self):
+        outdoor = {s.name for s in iter_scenes() if s.category == "outdoor"}
+        assert outdoor == {"bicycle", "stump", "garden"}
+
+    def test_indoor_resolution_higher_than_outdoor(self):
+        # The evaluation protocol renders indoor scenes at half resolution
+        # and outdoor scenes at quarter resolution.
+        assert get_scene("room").num_pixels > get_scene("bicycle").num_pixels
+
+
+class TestSceneDescriptor:
+    def test_num_pixels_and_tiles(self):
+        scene = get_scene("bicycle")
+        assert scene.num_pixels == 1237 * 822
+        tiles_x, tiles_y = scene.tile_grid
+        assert tiles_x == -(-1237 // TILE_SIZE)
+        assert tiles_y == -(-822 // TILE_SIZE)
+        assert scene.num_tiles == tiles_x * tiles_y
+
+    def test_sort_keys_scale_with_gaussians_per_tile(self):
+        scene = get_scene("garden")
+        keys = scene.sort_keys("original")
+        expected = scene.original.mean_gaussians_per_tile * scene.num_tiles
+        assert keys == pytest.approx(expected, rel=1e-6)
+
+    def test_fragments_are_keys_times_tile_area(self):
+        scene = get_scene("counter")
+        assert scene.fragments_per_frame("original") == (
+            scene.sort_keys("original") * TILE_SIZE * TILE_SIZE
+        )
+
+    def test_optimized_workload_is_smaller(self):
+        for scene in iter_scenes():
+            assert scene.optimized.num_gaussians < scene.original.num_gaussians
+            assert (
+                scene.optimized.mean_gaussians_per_tile
+                < scene.original.mean_gaussians_per_tile
+            )
+
+    def test_workload_lookup_rejects_unknown_algorithm(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            get_scene("room").workload("fancy")
+
+    def test_invalid_category_rejected(self):
+        with pytest.raises(ValueError, match="unknown scene category"):
+            SceneDescriptor(
+                name="x",
+                category="underwater",
+                width=100,
+                height=100,
+                original=AlgorithmWorkload(10, 1.0),
+                optimized=AlgorithmWorkload(5, 0.5),
+            )
+
+    def test_invalid_resolution_rejected(self):
+        with pytest.raises(ValueError, match="resolution"):
+            SceneDescriptor(
+                name="x",
+                category="indoor",
+                width=0,
+                height=100,
+                original=AlgorithmWorkload(10, 1.0),
+                optimized=AlgorithmWorkload(5, 0.5),
+            )
+
+
+class TestAlgorithmWorkload:
+    def test_rejects_nonpositive_gaussians(self):
+        with pytest.raises(ValueError):
+            AlgorithmWorkload(num_gaussians=0, mean_gaussians_per_tile=1.0)
+
+    def test_rejects_nonpositive_tile_density(self):
+        with pytest.raises(ValueError):
+            AlgorithmWorkload(num_gaussians=10, mean_gaussians_per_tile=0.0)
+
+    def test_rejects_bad_evaluated_fraction(self):
+        with pytest.raises(ValueError):
+            AlgorithmWorkload(10, 1.0, evaluated_fraction=0.0)
+        with pytest.raises(ValueError):
+            AlgorithmWorkload(10, 1.0, evaluated_fraction=1.5)
+
+    def test_evaluated_fraction_within_unit_interval_for_all_scenes(self):
+        for scene in iter_scenes():
+            for algorithm in ("original", "optimized"):
+                workload = scene.workload(algorithm)
+                assert 0.0 < workload.evaluated_fraction <= 1.0

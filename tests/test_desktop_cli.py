@@ -1,0 +1,120 @@
+"""Tests for the desktop GPU model, the motivation/quality experiments and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.desktop import DesktopGpu
+from repro.cli import main as cli_main
+from repro.datasets.nerf360 import get_scene, iter_scenes
+from repro.experiments import motivation_platforms, quality_validation
+from repro.profiling.workload import WorkloadStatistics
+
+
+def _workload(scene="bicycle"):
+    return WorkloadStatistics.from_descriptor(get_scene(scene), "original")
+
+
+class TestDesktopGpu:
+    def test_real_time_on_every_scene(self):
+        desktop = DesktopGpu()
+        for descriptor in iter_scenes():
+            workload = WorkloadStatistics.from_descriptor(descriptor, "original")
+            assert desktop.fps(workload) >= 30.0
+
+    def test_power_is_desktop_class(self):
+        assert DesktopGpu().power_w >= 200.0
+
+    def test_much_faster_than_edge_baseline(self):
+        from repro.baselines.jetson import JetsonOrinNX
+
+        desktop = DesktopGpu()
+        edge = JetsonOrinNX()
+        workload = _workload()
+        assert desktop.fps(workload) > 10 * edge.fps(workload)
+
+    def test_energy_per_frame_higher_than_gaurast(self):
+        desktop = DesktopGpu()
+        workload = _workload()
+        # Desktop burns hundreds of watts; per-frame rasterization energy is
+        # still large despite the shorter runtime.
+        assert desktop.rasterization_energy(workload) > 0.5
+
+
+class TestMotivationExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return motivation_platforms.run()
+
+    def test_ordering_desktop_fastest_edge_slowest(self, result):
+        assert result.desktop.mean_fps > result.edge_with_gaurast.mean_fps
+        assert result.edge_with_gaurast.mean_fps > result.edge.mean_fps
+
+    def test_desktop_is_real_time_edge_is_not(self, result):
+        assert result.desktop.mean_fps >= 30.0
+        assert result.edge.mean_fps <= 5.5
+
+    def test_gaurast_has_best_fps_per_watt(self, result):
+        assert result.edge_with_gaurast.fps_per_watt > result.desktop.fps_per_watt
+        assert result.edge_with_gaurast.fps_per_watt > result.edge.fps_per_watt
+
+    def test_formatting_mentions_all_platforms(self, result):
+        text = motivation_platforms.format_result(result)
+        assert "rtx-a6000-desktop" in text
+        assert "gaurast" in text
+
+
+class TestQualityValidationExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return quality_validation.run(num_gaussian_scenes=1)
+
+    def test_fp32_is_lossless(self, result):
+        assert result.fp32_lossless
+
+    def test_fp16_quality_is_high_but_not_lossless(self, result):
+        assert result.fp16_min_psnr_db > 40.0
+        assert result.fp16.worst_max_error > result.fp32.worst_max_error
+
+    def test_formatting_lists_precisions(self, result):
+        text = quality_validation.format_result(result)
+        assert "fp32" in text
+        assert "fp16" in text
+
+
+class TestCli:
+    def test_evaluate_single_scene(self, capsys):
+        assert cli_main(["evaluate", "--scene", "bonsai"]) == 0
+        out = capsys.readouterr().out
+        assert "bonsai" in out
+        assert "Speedup" in out
+
+    def test_evaluate_optimized_algorithm(self, capsys):
+        assert cli_main(["evaluate", "--algorithm", "optimized", "--scene", "room"]) == 0
+        assert "optimized" in capsys.readouterr().out
+
+    def test_render_writes_outputs(self, tmp_path, capsys):
+        image_path = tmp_path / "frame.ppm"
+        scene_path = tmp_path / "scene.npz"
+        exit_code = cli_main(
+            [
+                "render", "--gaussians", "150", "--width", "64", "--height", "48",
+                "--instances", "2",
+                "--output", str(image_path), "--save-scene", str(scene_path),
+            ]
+        )
+        assert exit_code == 0
+        assert image_path.exists()
+        assert scene_path.exists()
+        out = capsys.readouterr().out
+        assert "validation vs software renderer" in out
+
+    def test_experiments_subcommand(self, capsys):
+        assert cli_main(["experiments", "table2"]) == 0
+        assert "Table II" in capsys.readouterr().out
+
+    def test_validate_subcommand(self, capsys):
+        assert cli_main(["validate", "--scenes", "1"]) == 0
+        assert "overall: pass" in capsys.readouterr().out
+
+    def test_unknown_experiment_fails(self, capsys):
+        assert cli_main(["experiments", "bogus"]) == 1

@@ -1,0 +1,198 @@
+"""Tests for the experiment harness: every table/figure runs and has the paper's shape."""
+
+import pytest
+
+from repro.datasets.nerf360 import SCENE_NAMES
+from repro.experiments import (
+    ALL_EXPERIMENTS,
+    fig4_baseline_fps,
+    fig5_breakdown,
+    fig9_area,
+    fig10_speedup,
+    fig11_fps,
+    gscore_compare,
+    m2pro_compare,
+    scaling_sweep,
+    scheduling_ablation,
+    table1_methods,
+    table2_primitives,
+    table3_runtime,
+)
+from repro.experiments.__main__ import main as run_all_main
+
+
+class TestTable1:
+    def test_rows_and_attributes(self):
+        result = table1_methods.run()
+        methods = result.by_method()
+        assert set(methods) == {"Triangle Mesh", "NeRF", "3D Gaussian"}
+        assert methods["3D Gaussian"].rendering_quality == "Very High"
+        assert methods["Triangle Mesh"].scene_reconstruction == "Manual"
+        assert methods["NeRF"].ops_per_fragment > methods["3D Gaussian"].ops_per_fragment
+
+    def test_formatting_contains_all_methods(self):
+        text = table1_methods.format_result(table1_methods.run())
+        for method in ("Triangle Mesh", "NeRF", "3D Gaussian"):
+            assert method in text
+
+
+class TestFig4:
+    def test_all_scenes_between_2_and_6_fps(self):
+        result = fig4_baseline_fps.run()
+        assert set(result.fps_by_scene) == set(SCENE_NAMES)
+        for fps in result.fps_by_scene.values():
+            assert 2.0 <= fps <= 6.5
+        assert 3.0 <= result.mean_fps <= 5.0
+
+    def test_bicycle_is_the_slowest_scene(self):
+        result = fig4_baseline_fps.run()
+        fps = result.fps_by_scene
+        assert fps["bicycle"] == min(fps.values())
+
+
+class TestFig5:
+    def test_rasterization_dominates(self):
+        result = fig5_breakdown.run()
+        assert result.mean_rasterize_fraction > 0.80
+        for breakdown in result.breakdowns:
+            assert breakdown.rasterize_fraction > 0.75
+
+    def test_formatting_lists_every_scene(self):
+        text = fig5_breakdown.format_result(fig5_breakdown.run())
+        for scene in SCENE_NAMES:
+            assert scene in text
+
+
+class TestTable2:
+    def test_io_widths_match(self):
+        result = table2_primitives.run()
+        assert result.input_width == 9
+        assert result.output_width == 3
+
+    def test_specialised_units(self):
+        result = table2_primitives.run()
+        assert result.triangle_needs_div
+        assert result.gaussian_needs_exp
+        assert result.gaussian_totals.get("div", 0) == 0
+        assert result.triangle_totals.get("exp", 0) == 0
+
+    def test_four_subtasks_each(self):
+        result = table2_primitives.run()
+        assert len(result.rows) == 4
+        assert result.rows[1].gaussian_name == "Gaussian Probability Computation"
+
+
+class TestTable3:
+    def test_baseline_and_gaurast_runtimes(self):
+        result = table3_runtime.run()
+        baseline = result.baseline_ms
+        gaurast = result.gaurast_ms
+        assert baseline["bicycle"] == pytest.approx(321, rel=0.05)
+        assert gaurast["bicycle"] == pytest.approx(15, rel=0.15)
+        assert 20.0 <= result.mean_speedup <= 27.0
+
+    def test_gaurast_always_faster(self):
+        result = table3_runtime.run()
+        for scene in SCENE_NAMES:
+            assert result.gaurast_ms[scene] < result.baseline_ms[scene]
+
+
+class TestFig9:
+    def test_area_shapes(self):
+        result = fig9_area.run()
+        assert 0.18 <= result.pe_gaussian_fraction <= 0.25
+        assert 0.85 <= result.module.pe_block_fraction <= 0.93
+        assert 0.001 <= result.soc_overhead_fraction <= 0.005
+        assert result.pe_triangle_fraction == pytest.approx(
+            1.0 - result.pe_gaussian_fraction
+        )
+
+
+class TestFig10:
+    def test_headline_means(self):
+        result = fig10_speedup.run()
+        assert 20.0 <= result.mean_speedup("original") <= 27.0
+        assert 20.0 <= result.mean_energy_improvement("original") <= 30.0
+        assert 17.0 <= result.mean_speedup("optimized") <= 23.0
+        assert 17.0 <= result.mean_energy_improvement("optimized") <= 26.0
+
+    def test_per_scene_series_cover_all_scenes(self):
+        result = fig10_speedup.run()
+        assert set(result.speedups("original")) == set(SCENE_NAMES)
+        assert set(result.energy_improvements("optimized")) == set(SCENE_NAMES)
+
+
+class TestFig11:
+    def test_headline_fps(self):
+        result = fig11_fps.run()
+        assert 20.0 <= result.mean_gaurast_fps("original") <= 30.0
+        assert 40.0 <= result.mean_gaurast_fps("optimized") <= 55.0
+        assert 5.0 <= result.mean_speedup("original") <= 8.0
+        assert 3.3 <= result.mean_speedup("optimized") <= 5.5
+
+    def test_gaurast_always_improves_fps(self):
+        result = fig11_fps.run()
+        for algorithm in ("original", "optimized"):
+            base = result.baseline_fps(algorithm)
+            accelerated = result.gaurast_fps(algorithm)
+            for scene in SCENE_NAMES:
+                assert accelerated[scene] > base[scene]
+
+
+class TestGScoreComparison:
+    def test_area_efficiency_improvement(self):
+        result = gscore_compare.run()
+        assert result.gaurast_added_area_mm2 < 0.3
+        assert result.throughput_ratio >= 1.0
+        assert 15.0 <= result.area_efficiency_improvement <= 35.0
+
+
+class TestM2ProComparison:
+    def test_speedup_about_11x(self):
+        result = m2pro_compare.run()
+        assert 9.0 <= result.speedup <= 13.0
+        assert result.scene == "bicycle"
+
+
+class TestAblations:
+    def test_scheduling_gain_between_1_and_2(self):
+        result = scheduling_ablation.run()
+        assert 1.0 <= result.mean_gain <= 2.0
+        for row in result.rows:
+            assert row.pipelined_fps >= row.serial_fps
+
+    def test_scaling_sweep_monotonic_until_saturation(self):
+        result = scaling_sweep.run()
+        speedups = [p.raster_speedup for p in result.points]
+        assert speedups == sorted(speedups)
+        # End-to-end FPS saturates once Stage 1-2 dominates.
+        fps = [p.end_to_end_fps for p in result.points]
+        assert fps[-1] == pytest.approx(fps[-2], rel=0.01)
+        # Added area grows linearly with the instance count.
+        first = result.points[0]
+        last = result.points[-1]
+        assert last.added_area_mm2 == pytest.approx(
+            first.added_area_mm2 * last.num_instances / first.num_instances, rel=1e-6
+        )
+
+    def test_scaling_sweep_design_point_present(self):
+        result = scaling_sweep.run()
+        point = result.point_for(15)
+        assert point.total_pes == 240
+        with pytest.raises(KeyError):
+            result.point_for(999)
+
+
+class TestHarness:
+    def test_every_experiment_has_run_and_main(self):
+        for module in ALL_EXPERIMENTS.values():
+            assert hasattr(module, "run")
+            assert hasattr(module, "main")
+
+    def test_cli_runs_selected_experiment(self, capsys):
+        assert run_all_main(["table2"]) == 0
+        captured = capsys.readouterr()
+        assert "Table II" in captured.out
+
+    def test_cli_rejects_unknown_experiment(self, capsys):
+        assert run_all_main(["nonexistent"]) == 1

@@ -1,0 +1,177 @@
+"""Tests for the Gaussian data structures (cloud and projected containers)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gaussians.gaussian import (
+    GaussianCloud,
+    ProjectedGaussians,
+    RASTER_INPUT_WIDTH,
+    quaternion_to_rotation_matrix,
+)
+
+
+def _cloud(n=4, seed=0):
+    rng = np.random.default_rng(seed)
+    return GaussianCloud(
+        positions=rng.normal(size=(n, 3)),
+        scales=rng.uniform(0.05, 0.3, size=(n, 3)),
+        rotations=rng.normal(size=(n, 4)),
+        opacities=rng.uniform(0.1, 1.0, size=n),
+        sh_coeffs=rng.normal(size=(n, 4, 3)),
+    )
+
+
+class TestGaussianCloud:
+    def test_length_and_degree(self):
+        cloud = _cloud(5)
+        assert len(cloud) == 5
+        assert cloud.sh_degree == 1
+
+    def test_mismatched_lengths_rejected(self):
+        cloud = _cloud(4)
+        with pytest.raises(ValueError, match="entries"):
+            GaussianCloud(
+                positions=cloud.positions,
+                scales=cloud.scales[:3],
+                rotations=cloud.rotations,
+                opacities=cloud.opacities,
+                sh_coeffs=cloud.sh_coeffs,
+            )
+
+    def test_invalid_opacity_rejected(self):
+        cloud = _cloud(2)
+        with pytest.raises(ValueError, match="opacities"):
+            GaussianCloud(
+                positions=cloud.positions,
+                scales=cloud.scales,
+                rotations=cloud.rotations,
+                opacities=np.array([0.5, 1.5]),
+                sh_coeffs=cloud.sh_coeffs,
+            )
+
+    def test_nonpositive_scales_rejected(self):
+        cloud = _cloud(2)
+        with pytest.raises(ValueError, match="scales"):
+            GaussianCloud(
+                positions=cloud.positions,
+                scales=np.array([[0.1, 0.1, 0.0], [0.1, 0.1, 0.1]]),
+                rotations=cloud.rotations,
+                opacities=cloud.opacities,
+                sh_coeffs=cloud.sh_coeffs,
+            )
+
+    def test_invalid_sh_count_rejected(self):
+        cloud = _cloud(2)
+        with pytest.raises(ValueError, match="sh_coeffs"):
+            GaussianCloud(
+                positions=cloud.positions,
+                scales=cloud.scales,
+                rotations=cloud.rotations,
+                opacities=cloud.opacities,
+                sh_coeffs=np.zeros((2, 5, 3)),
+            )
+
+    def test_subset_preserves_fields(self):
+        cloud = _cloud(6)
+        subset = cloud.subset([0, 2, 4])
+        assert len(subset) == 3
+        assert np.allclose(subset.positions, cloud.positions[[0, 2, 4]])
+        assert np.allclose(subset.opacities, cloud.opacities[[0, 2, 4]])
+
+    def test_covariances_are_symmetric_positive_semidefinite(self):
+        cloud = _cloud(8, seed=3)
+        covariances = cloud.covariances()
+        assert covariances.shape == (8, 3, 3)
+        for cov in covariances:
+            assert np.allclose(cov, cov.T, atol=1e-12)
+            eigenvalues = np.linalg.eigvalsh(cov)
+            assert np.all(eigenvalues >= -1e-12)
+
+    def test_isotropic_gaussian_covariance_is_scaled_identity(self):
+        cloud = GaussianCloud(
+            positions=np.zeros((1, 3)),
+            scales=np.full((1, 3), 0.2),
+            rotations=np.array([[0.7, 0.3, -0.2, 0.1]]),
+            opacities=np.array([1.0]),
+            sh_coeffs=np.zeros((1, 1, 3)),
+        )
+        cov = cloud.covariances()[0]
+        assert np.allclose(cov, 0.04 * np.eye(3), atol=1e-12)
+
+
+class TestQuaternionConversion:
+    def test_identity_quaternion(self):
+        matrix = quaternion_to_rotation_matrix(np.array([[1.0, 0.0, 0.0, 0.0]]))[0]
+        assert np.allclose(matrix, np.eye(3))
+
+    def test_zero_quaternion_rejected(self):
+        with pytest.raises(ValueError):
+            quaternion_to_rotation_matrix(np.zeros((1, 4)))
+
+    def test_90_degree_rotation_about_z(self):
+        half = np.sqrt(0.5)
+        matrix = quaternion_to_rotation_matrix(np.array([[half, 0, 0, half]]))[0]
+        rotated = matrix @ np.array([1.0, 0.0, 0.0])
+        assert rotated == pytest.approx([0.0, 1.0, 0.0], abs=1e-12)
+
+    @given(
+        quaternion=st.lists(
+            st.floats(min_value=-1, max_value=1, allow_nan=False),
+            min_size=4,
+            max_size=4,
+        ).filter(lambda q: sum(x * x for x in q) > 1e-3)
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_result_is_always_a_rotation(self, quaternion):
+        matrix = quaternion_to_rotation_matrix(np.array([quaternion]))[0]
+        assert np.allclose(matrix @ matrix.T, np.eye(3), atol=1e-9)
+        assert np.linalg.det(matrix) == pytest.approx(1.0, abs=1e-9)
+
+
+class TestProjectedGaussians:
+    def _projected(self, n=3):
+        rng = np.random.default_rng(1)
+        return ProjectedGaussians(
+            means=rng.uniform(0, 50, size=(n, 2)),
+            cov_inverses=np.tile([0.5, 0.0, 0.5], (n, 1)),
+            depths=rng.uniform(1, 5, size=n),
+            colors=rng.uniform(0, 1, size=(n, 3)),
+            opacities=rng.uniform(0.2, 1.0, size=n),
+            radii=np.full(n, 4.0),
+            source_indices=np.arange(n),
+        )
+
+    def test_raster_inputs_width_and_layout(self):
+        projected = self._projected(2)
+        inputs = projected.raster_inputs()
+        assert inputs.shape == (2, RASTER_INPUT_WIDTH)
+        assert np.allclose(inputs[:, :3], projected.cov_inverses)
+        assert np.allclose(inputs[:, 3], projected.opacities)
+        assert np.allclose(inputs[:, 4:6], projected.means)
+        assert np.allclose(inputs[:, 6:], projected.colors)
+
+    def test_subset_tracks_source_indices(self):
+        projected = self._projected(5)
+        subset = projected.subset([3, 1])
+        assert list(subset.source_indices) == [3, 1]
+        assert np.allclose(subset.depths, projected.depths[[3, 1]])
+
+    def test_empty_container(self):
+        empty = ProjectedGaussians.empty()
+        assert len(empty) == 0
+        assert empty.raster_inputs().shape == (0, RASTER_INPUT_WIDTH)
+
+    def test_length_mismatch_rejected(self):
+        projected = self._projected(3)
+        with pytest.raises(ValueError):
+            ProjectedGaussians(
+                means=projected.means,
+                cov_inverses=projected.cov_inverses,
+                depths=projected.depths[:2],
+                colors=projected.colors,
+                opacities=projected.opacities,
+                radii=projected.radii,
+            )

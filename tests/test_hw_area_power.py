@@ -1,0 +1,132 @@
+"""Tests for the area and energy models (Fig. 9 and the Fig. 10 energy axis)."""
+
+import pytest
+
+from repro.datasets.nerf360 import get_scene
+from repro.hardware.area import AreaModel, BASELINE_SOC_AREA_MM2
+from repro.hardware.config import GauRastConfig, PROTOTYPE_CONFIG, SCALED_CONFIG
+from repro.hardware.fp import Precision
+from repro.hardware.multi import ScaledGauRast
+from repro.hardware.power import EnergyModel
+from repro.profiling.workload import WorkloadStatistics
+
+
+class TestPEArea:
+    def test_gaussian_only_share_is_about_21_percent(self):
+        breakdown = AreaModel(PROTOTYPE_CONFIG).pe_breakdown()
+        assert 0.18 <= breakdown.gaussian_fraction <= 0.25
+
+    def test_pe_total_is_sum_of_groups(self):
+        pe = AreaModel(PROTOTYPE_CONFIG).pe_breakdown()
+        assert pe.total_um2 == pytest.approx(
+            pe.shared_um2 + pe.triangle_only_um2 + pe.gaussian_only_um2 + pe.staging_um2
+        )
+
+    def test_preexisting_area_excludes_gaussian_logic(self):
+        pe = AreaModel(PROTOTYPE_CONFIG).pe_breakdown()
+        assert pe.preexisting_um2 == pytest.approx(pe.total_um2 - pe.gaussian_only_um2)
+
+    def test_fp16_pe_is_smaller(self):
+        fp32 = AreaModel(PROTOTYPE_CONFIG).pe_breakdown()
+        fp16 = AreaModel(PROTOTYPE_CONFIG.with_precision(Precision.FP16)).pe_breakdown()
+        assert fp16.total_um2 < fp32.total_um2
+        assert fp16.gaussian_only_um2 < fp32.gaussian_only_um2
+
+
+class TestModuleArea:
+    def test_breakdown_shares_match_paper_shape(self):
+        module = AreaModel(PROTOTYPE_CONFIG).module_breakdown()
+        assert 0.85 <= module.pe_block_fraction <= 0.93
+        assert 0.06 <= module.tile_buffer_fraction <= 0.14
+        assert module.controller_fraction < 0.02
+        assert module.pe_block_fraction + module.tile_buffer_fraction + (
+            module.controller_fraction
+        ) == pytest.approx(1.0)
+
+    def test_enhanced_area_is_gaussian_logic_times_pe_count(self):
+        module = AreaModel(PROTOTYPE_CONFIG).module_breakdown()
+        assert module.enhanced_um2 == pytest.approx(
+            module.pe.gaussian_only_um2 * PROTOTYPE_CONFIG.pes_per_instance
+        )
+
+    def test_tile_buffer_bytes_cover_primitives_and_pixels(self):
+        model = AreaModel(PROTOTYPE_CONFIG)
+        config = PROTOTYPE_CONFIG
+        expected = 2 * (
+            config.tile_buffer_primitive_capacity * config.primitive_bytes
+            + config.pixels_per_tile * config.pixel_state_bytes
+        )
+        assert model.tile_buffer_bytes() == expected
+
+
+class TestDesignArea:
+    def test_scaled_design_area_scales_with_instances(self):
+        single = AreaModel(PROTOTYPE_CONFIG).design_area_mm2()
+        scaled = AreaModel(SCALED_CONFIG).design_area_mm2()
+        assert scaled == pytest.approx(15 * single)
+
+    def test_soc_overhead_is_fraction_of_a_percent(self):
+        overhead = AreaModel(SCALED_CONFIG).soc_overhead_fraction()
+        assert 0.001 < overhead < 0.005  # ~0.2-0.3 % of the SoC
+
+    def test_soc_overhead_uses_supplied_area(self):
+        model = AreaModel(SCALED_CONFIG)
+        assert model.soc_overhead_fraction(2 * BASELINE_SOC_AREA_MM2) == pytest.approx(
+            model.soc_overhead_fraction() / 2
+        )
+
+    def test_invalid_soc_area_rejected(self):
+        with pytest.raises(ValueError):
+            AreaModel(SCALED_CONFIG).soc_overhead_fraction(0.0)
+
+
+class TestEnergyModel:
+    def _estimate(self, algorithm="original", scene="bicycle", config=SCALED_CONFIG):
+        workload = WorkloadStatistics.from_descriptor(get_scene(scene), algorithm)
+        return ScaledGauRast(config).estimate(workload)
+
+    def test_per_fragment_energy_components_positive(self):
+        model = EnergyModel(SCALED_CONFIG)
+        assert model.compute_energy_per_fragment_pj() > 0
+        assert model.staging_energy_per_fragment_pj() > 0
+        assert model.sram_energy_per_fragment_pj() > 0
+        assert model.energy_per_fragment_pj() > model.compute_energy_per_fragment_pj()
+
+    def test_fp16_fragment_energy_is_lower(self):
+        fp32 = EnergyModel(SCALED_CONFIG).compute_energy_per_fragment_pj()
+        fp16 = EnergyModel(
+            SCALED_CONFIG.with_precision(Precision.FP16)
+        ).compute_energy_per_fragment_pj()
+        assert fp16 < fp32
+
+    def test_frame_energy_breakdown_sums(self):
+        model = EnergyModel(SCALED_CONFIG)
+        breakdown = model.frame_energy(self._estimate())
+        assert breakdown.total_j == pytest.approx(
+            breakdown.compute_j
+            + breakdown.staging_j
+            + breakdown.sram_j
+            + breakdown.control_j
+            + breakdown.dram_j
+            + breakdown.leakage_j
+        )
+        assert breakdown.total_j > 0
+
+    def test_frame_energy_scales_with_workload(self):
+        model = EnergyModel(SCALED_CONFIG)
+        big = model.frame_energy_j(self._estimate(scene="bicycle"))
+        small = model.frame_energy_j(self._estimate(scene="bonsai"))
+        assert big > small
+
+    def test_average_power_is_order_of_watts(self):
+        model = EnergyModel(SCALED_CONFIG)
+        estimate = self._estimate()
+        breakdown = model.frame_energy(estimate)
+        power = breakdown.average_power_w(estimate.runtime_seconds)
+        assert 1.0 < power < 15.0
+
+    def test_average_power_rejects_nonpositive_runtime(self):
+        model = EnergyModel(SCALED_CONFIG)
+        breakdown = model.frame_energy(self._estimate())
+        with pytest.raises(ValueError):
+            breakdown.average_power_w(0.0)

@@ -1,0 +1,84 @@
+"""Tests for the GauRast hardware configuration."""
+
+import pytest
+
+from repro.hardware.config import GauRastConfig, PROTOTYPE_CONFIG, SCALED_CONFIG
+from repro.hardware.fp import Precision
+
+
+class TestNamedConfigs:
+    def test_prototype_is_single_instance_of_16_pes(self):
+        assert PROTOTYPE_CONFIG.pes_per_instance == 16
+        assert PROTOTYPE_CONFIG.num_instances == 1
+        assert PROTOTYPE_CONFIG.precision is Precision.FP32
+        assert PROTOTYPE_CONFIG.clock_hz == pytest.approx(1.0e9)
+
+    def test_scaled_design_has_15_instances(self):
+        assert SCALED_CONFIG.num_instances == 15
+        assert SCALED_CONFIG.total_pes == 240
+
+    def test_pixels_per_pe(self):
+        assert PROTOTYPE_CONFIG.pixels_per_tile == 256
+        assert PROTOTYPE_CONFIG.pixels_per_pe == 16
+
+
+class TestValidation:
+    def test_rejects_nonpositive_pes(self):
+        with pytest.raises(ValueError):
+            GauRastConfig(pes_per_instance=0)
+
+    def test_rejects_uneven_pixel_split(self):
+        with pytest.raises(ValueError):
+            GauRastConfig(pes_per_instance=17)
+
+    def test_rejects_nonpositive_clock(self):
+        with pytest.raises(ValueError):
+            GauRastConfig(clock_hz=0)
+
+    def test_rejects_nonpositive_buffer_capacity(self):
+        with pytest.raises(ValueError):
+            GauRastConfig(tile_buffer_primitive_capacity=0)
+
+
+class TestDerivedQuantities:
+    def test_gaussian_cycles_per_primitive_per_tile(self):
+        config = GauRastConfig()
+        expected = config.pixels_per_pe * config.gaussian_cycles_per_fragment
+        assert config.gaussian_cycles_per_primitive_per_tile == expected
+
+    def test_primitive_load_cycles_rounds_up(self):
+        config = GauRastConfig(primitive_bytes=36, buffer_load_bytes_per_cycle=16)
+        assert config.primitive_load_cycles(1) == 3
+        assert config.primitive_load_cycles(4) == 9
+
+    def test_with_instances(self):
+        config = PROTOTYPE_CONFIG.with_instances(4)
+        assert config.num_instances == 4
+        assert config.total_pes == 64
+        # The original is unchanged (frozen dataclass semantics).
+        assert PROTOTYPE_CONFIG.num_instances == 1
+
+
+class TestPrecisionSwitch:
+    def test_fp16_halves_initiation_intervals(self):
+        fp16 = PROTOTYPE_CONFIG.with_precision(Precision.FP16)
+        assert fp16.precision is Precision.FP16
+        assert (
+            fp16.gaussian_cycles_per_fragment
+            == PROTOTYPE_CONFIG.gaussian_cycles_per_fragment // 2
+        )
+
+    def test_round_trip_restores_defaults(self):
+        fp16 = PROTOTYPE_CONFIG.with_precision(Precision.FP16)
+        fp32 = fp16.with_precision(Precision.FP32)
+        assert fp32.gaussian_cycles_per_fragment == (
+            PROTOTYPE_CONFIG.gaussian_cycles_per_fragment
+        )
+
+    def test_same_precision_is_identity(self):
+        assert PROTOTYPE_CONFIG.with_precision(Precision.FP32) is PROTOTYPE_CONFIG
+
+    def test_interval_never_below_one(self):
+        config = GauRastConfig(gaussian_cycles_per_fragment=1)
+        fp16 = config.with_precision(Precision.FP16)
+        assert fp16.gaussian_cycles_per_fragment == 1

@@ -1,0 +1,210 @@
+"""Tests for the dual-mode Processing Element.
+
+The central validation mirrors the paper's methodology: the PE datapath's
+output must match the software (golden) renderers for both Gaussian and
+triangle primitives.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gaussians.rasterize import gaussian_alpha
+from repro.hardware.config import GauRastConfig
+from repro.hardware.fp import Precision
+from repro.hardware.pe import (
+    GAUSSIAN_SUBTASK_OPS,
+    GaussianPixelState,
+    PE_RESOURCES,
+    ProcessingElement,
+    TRIANGLE_SUBTASK_OPS,
+    TrianglePixelState,
+    subtask_totals,
+)
+
+
+def _gaussian_primitive(mean=(8.0, 8.0), conic=(0.25, 0.0, 0.25), opacity=0.9,
+                        color=(0.8, 0.2, 0.1)):
+    return np.array([*conic, opacity, *mean, *color])
+
+
+class TestResourceInventory:
+    def test_gaussian_only_logic_matches_paper(self):
+        added = PE_RESOURCES["gaussian_only"]
+        assert added["add"] == 2
+        assert added["mul"] == 1
+        assert added["exp"] == 1
+
+    def test_shared_logic_is_nine_adders_and_multipliers(self):
+        shared = PE_RESOURCES["shared"]
+        assert shared == {"add": 9, "mul": 9}
+
+    def test_triangle_only_logic_is_the_divider(self):
+        assert PE_RESOURCES["triangle_only"] == {"div": 1}
+
+    def test_gaussian_fragment_needs_exp_but_no_div(self):
+        totals = subtask_totals(GAUSSIAN_SUBTASK_OPS)
+        assert totals["exp"] == 1
+        assert totals.get("div", 0) == 0
+
+    def test_triangle_fragment_needs_div_but_no_exp(self):
+        totals = subtask_totals(TRIANGLE_SUBTASK_OPS)
+        assert totals["div"] > 0
+        assert totals.get("exp", 0) == 0
+
+
+class TestGaussianMode:
+    def test_matches_golden_alpha_blending(self):
+        config = GauRastConfig()
+        pe = ProcessingElement(config)
+        pixels = np.stack(
+            [np.arange(16, dtype=float) + 0.5, np.full(16, 8.5)], axis=1
+        )
+        state = GaussianPixelState.initial(len(pixels))
+        primitive = _gaussian_primitive()
+        pe.apply_gaussian(pixels, state, primitive)
+
+        alpha = gaussian_alpha(pixels, primitive[4:6], primitive[:3], primitive[3])
+        expected_color = np.outer(alpha, primitive[6:9])
+        mask = alpha >= 1.0 / 255.0
+        assert np.allclose(state.color[mask], expected_color[mask], rtol=1e-5, atol=1e-6)
+        assert np.allclose(state.transmittance[mask], 1.0 - alpha[mask], rtol=1e-5)
+
+    def test_sequential_gaussians_accumulate_front_to_back(self):
+        config = GauRastConfig()
+        pe = ProcessingElement(config)
+        pixels = np.array([[8.5, 8.5]])
+        state = GaussianPixelState.initial(1)
+        red = _gaussian_primitive(opacity=0.6, color=(1.0, 0.0, 0.0))
+        green = _gaussian_primitive(opacity=0.6, color=(0.0, 1.0, 0.0))
+        pe.apply_gaussian(pixels, state, red)
+        pe.apply_gaussian(pixels, state, green)
+        # The second splat is attenuated by the first one's transmittance.
+        assert state.color[0, 0] > state.color[0, 1]
+        assert state.color[0, 1] > 0
+
+    def test_early_terminated_pixels_are_skipped(self):
+        config = GauRastConfig()
+        pe = ProcessingElement(config)
+        pixels = np.array([[8.5, 8.5], [100.0, 100.0]])
+        state = GaussianPixelState.initial(2)
+        state.transmittance[0] = 1e-6  # already saturated
+        before = pe.fragments_evaluated
+        pe.apply_gaussian(pixels, state, _gaussian_primitive())
+        assert pe.fragments_evaluated == before + 1
+        assert pe.fragments_skipped == 1
+
+    def test_busy_cycles_scale_with_active_pixels(self):
+        config = GauRastConfig()
+        pe = ProcessingElement(config)
+        pixels = np.tile([[8.5, 8.5]], (4, 1))
+        state = GaussianPixelState.initial(4)
+        pe.apply_gaussian(pixels, state, _gaussian_primitive())
+        assert pe.busy_cycles == 4 * config.gaussian_cycles_per_fragment
+
+    def test_finalize_composites_background(self):
+        config = GauRastConfig()
+        pe = ProcessingElement(config)
+        state = GaussianPixelState.initial(2)
+        color = pe.finalize_gaussian(state, background=(0.25, 0.5, 0.75))
+        assert np.allclose(color, [[0.25, 0.5, 0.75]] * 2)
+
+    def test_operation_counts_match_subtask_table(self):
+        config = GauRastConfig()
+        pe = ProcessingElement(config)
+        pixels = np.array([[8.4, 8.6]])
+        state = GaussianPixelState.initial(1)
+        pe.apply_gaussian(pixels, state, _gaussian_primitive())
+        counts = pe.operation_counts.as_dict()
+        totals = subtask_totals(GAUSSIAN_SUBTASK_OPS)
+        # One fragment that passes the alpha threshold performs exactly the
+        # tabulated operations (per pixel).
+        assert counts["exp"] == totals["exp"]
+        assert counts["mul"] == totals["mul"]
+        assert counts["add"] == totals["add"]
+
+    def test_fp16_mode_still_close_to_golden(self):
+        config = GauRastConfig().with_precision(Precision.FP16)
+        pe = ProcessingElement(config)
+        pixels = np.array([[8.5, 8.5]])
+        state = GaussianPixelState.initial(1)
+        primitive = _gaussian_primitive()
+        pe.apply_gaussian(pixels, state, primitive)
+        alpha = gaussian_alpha(pixels, primitive[4:6], primitive[:3], primitive[3])
+        assert state.color[0] == pytest.approx(alpha[0] * primitive[6:9], rel=2e-2)
+
+    def test_reset_counters(self):
+        config = GauRastConfig()
+        pe = ProcessingElement(config)
+        pixels = np.array([[8.5, 8.5]])
+        state = GaussianPixelState.initial(1)
+        pe.apply_gaussian(pixels, state, _gaussian_primitive())
+        pe.reset_counters()
+        assert pe.fragments_evaluated == 0
+        assert pe.busy_cycles == 0
+        assert pe.operation_counts.total() == 0
+
+
+class TestTriangleMode:
+    def _triangle_primitive(self):
+        # A right triangle covering the lower-left of a 16x16 tile, at depth 2.
+        vertices = np.array(
+            [[0.0, 0.0, 2.0], [16.0, 0.0, 2.0], [0.0, 16.0, 2.0]]
+        )
+        return vertices.reshape(-1)
+
+    def test_inside_pixels_get_triangle_color_and_depth(self):
+        config = GauRastConfig()
+        pe = ProcessingElement(config)
+        pixels = np.array([[2.5, 2.5], [15.5, 15.5]])
+        state = TrianglePixelState.initial(2)
+        colors = np.tile([0.3, 0.6, 0.9], (3, 1))
+        uvs = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        pe.apply_triangle(pixels, state, self._triangle_primitive(), colors, uvs)
+        assert state.color[0] == pytest.approx([0.3, 0.6, 0.9], rel=1e-5)
+        assert state.depth[0] == pytest.approx(2.0, rel=1e-5)
+        # The second pixel is outside the triangle and keeps the background.
+        assert np.isinf(state.depth[1])
+
+    def test_min_depth_keeps_nearer_triangle(self):
+        config = GauRastConfig()
+        pe = ProcessingElement(config)
+        pixels = np.array([[2.5, 2.5]])
+        state = TrianglePixelState.initial(1)
+        colors_far = np.tile([0.0, 1.0, 0.0], (3, 1))
+        colors_near = np.tile([1.0, 0.0, 0.0], (3, 1))
+        uvs = np.zeros((3, 2))
+
+        far = self._triangle_primitive()
+        near = far.copy()
+        near[2::3] = 1.0  # depth 1 for all three vertices
+        pe.apply_triangle(pixels, state, far, colors_far, uvs)
+        pe.apply_triangle(pixels, state, near, colors_near, uvs)
+        assert state.color[0] == pytest.approx([1.0, 0.0, 0.0], rel=1e-5)
+        assert state.depth[0] == pytest.approx(1.0, rel=1e-5)
+
+    def test_degenerate_triangle_is_ignored(self):
+        config = GauRastConfig()
+        pe = ProcessingElement(config)
+        pixels = np.array([[2.5, 2.5]])
+        state = TrianglePixelState.initial(1)
+        degenerate = np.array([0.0, 0.0, 1.0, 5.0, 5.0, 1.0, 10.0, 10.0, 1.0])
+        pe.apply_triangle(pixels, state, degenerate, np.ones((3, 3)), np.zeros((3, 2)))
+        assert np.isinf(state.depth[0])
+
+    def test_divider_is_exercised_only_in_triangle_mode(self):
+        config = GauRastConfig()
+        pe = ProcessingElement(config)
+        pixels = np.array([[2.5, 2.5]])
+        gaussian_state = GaussianPixelState.initial(1)
+        pe.apply_gaussian(pixels, gaussian_state, _gaussian_primitive())
+        assert pe.operation_counts.as_dict().get("div", 0) == 0
+
+        triangle_state = TrianglePixelState.initial(1)
+        pe.apply_triangle(
+            pixels,
+            triangle_state,
+            self._triangle_primitive(),
+            np.ones((3, 3)),
+            np.zeros((3, 2)),
+        )
+        assert pe.operation_counts.as_dict()["div"] > 0

@@ -1,0 +1,161 @@
+"""Tests for the FP precision model and the functional-unit cost models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.fp import Precision, max_relative_error, quantize
+from repro.hardware.units import (
+    Adder,
+    DatapathUnits,
+    Divider,
+    Exponent,
+    Multiplier,
+    OperationTally,
+    UNIT_COSTS,
+    unit_cost,
+)
+
+
+class TestPrecision:
+    def test_bit_widths(self):
+        assert Precision.FP32.bits == 32
+        assert Precision.FP16.bits == 16
+        assert Precision.FP32.bytes == 4
+        assert Precision.FP16.bytes == 2
+
+    def test_quantize_fp32_precision_loss_is_tiny(self):
+        value = np.pi
+        quantized = quantize(value, Precision.FP32)
+        assert abs(quantized - value) / value < max_relative_error(Precision.FP32)
+
+    def test_quantize_fp16_loses_more_precision_than_fp32(self):
+        value = np.array([1.0 / 3.0])
+        err16 = abs(quantize(value, Precision.FP16) - value)
+        err32 = abs(quantize(value, Precision.FP32) - value)
+        assert err16 > err32
+
+    def test_quantize_returns_float64(self):
+        quantized = quantize([1.5, 2.5], Precision.FP16)
+        assert quantized.dtype == np.float64
+
+    @given(value=st.floats(min_value=-1e4, max_value=1e4, allow_nan=False))
+    @settings(max_examples=80, deadline=None)
+    def test_quantization_error_bounded(self, value):
+        for precision in Precision:
+            quantized = float(quantize(value, precision))
+            if value != 0:
+                assert abs(quantized - value) <= abs(value) * 2 * max_relative_error(
+                    precision
+                ) + 1e-7
+
+
+class TestUnitCosts:
+    def test_all_kinds_present_for_both_precisions(self):
+        for precision in Precision:
+            for kind in ("add", "mul", "div", "exp", "mux", "staging"):
+                cost = unit_cost(kind, precision)
+                assert cost.area_um2 > 0
+                assert cost.energy_pj >= 0
+
+    def test_fp16_units_are_smaller_and_cheaper(self):
+        for kind in ("add", "mul", "div", "exp"):
+            fp32 = unit_cost(kind, Precision.FP32)
+            fp16 = unit_cost(kind, Precision.FP16)
+            assert fp16.area_um2 < fp32.area_um2
+            assert fp16.energy_pj < fp32.energy_pj
+
+    def test_multiplier_larger_than_adder(self):
+        assert (
+            unit_cost("mul", Precision.FP32).area_um2
+            > unit_cost("add", Precision.FP32).area_um2
+        )
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(KeyError, match="unknown unit kind"):
+            unit_cost("sqrt", Precision.FP32)
+
+
+class TestOperationTally:
+    def test_record_and_total(self):
+        tally = OperationTally()
+        tally.record("add", 3)
+        tally.record("mul")
+        tally.record("add", 2)
+        assert tally.get("add") == 5
+        assert tally.get("mul") == 1
+        assert tally.get("exp") == 0
+        assert tally.total() == 6
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            OperationTally().record("add", -1)
+
+    def test_merge(self):
+        a = OperationTally({"add": 2})
+        b = OperationTally({"add": 1, "mul": 4})
+        merged = a.merged_with(b)
+        assert merged.get("add") == 3
+        assert merged.get("mul") == 4
+        # The originals are untouched.
+        assert a.get("add") == 2
+
+    def test_energy_accumulates_per_op(self):
+        tally = OperationTally({"add": 10, "mul": 5})
+        expected = (
+            10 * UNIT_COSTS[Precision.FP32]["add"].energy_pj
+            + 5 * UNIT_COSTS[Precision.FP32]["mul"].energy_pj
+        )
+        assert tally.energy_pj(Precision.FP32) == pytest.approx(expected)
+
+
+class TestFunctionalUnits:
+    def test_adder_counts_elementwise_operations(self):
+        tally = OperationTally()
+        adder = Adder(Precision.FP32, tally)
+        result = adder.add(np.array([1.0, 2.0, 3.0]), 1.0)
+        assert np.allclose(result, [2.0, 3.0, 4.0])
+        assert tally.get("add") == 3
+
+    def test_subtraction_counts_as_add(self):
+        tally = OperationTally()
+        adder = Adder(Precision.FP32, tally)
+        result = adder.sub(5.0, 2.0)
+        assert result == pytest.approx(3.0)
+        assert tally.get("add") == 1
+
+    def test_multiplier(self):
+        tally = OperationTally()
+        result = Multiplier(Precision.FP32, tally).mul(np.array([2.0, 4.0]), 3.0)
+        assert np.allclose(result, [6.0, 12.0])
+        assert tally.get("mul") == 2
+
+    def test_divider_guards_against_zero(self):
+        tally = OperationTally()
+        result = Divider(Precision.FP32, tally).div(1.0, 0.0)
+        # Division by zero saturates (IEEE infinity) rather than producing NaN.
+        assert not np.isnan(result)
+        assert tally.get("div") == 1
+
+    def test_exponent(self):
+        tally = OperationTally()
+        result = Exponent(Precision.FP32, tally).exp(np.array([0.0, 1.0]))
+        assert result[0] == pytest.approx(1.0)
+        assert result[1] == pytest.approx(np.e, rel=1e-6)
+        assert tally.get("exp") == 2
+
+    def test_fp16_quantizes_results(self):
+        tally = OperationTally()
+        result = Multiplier(Precision.FP16, tally).mul(1.0 / 3.0, 1.0)
+        assert result != pytest.approx(1.0 / 3.0, abs=1e-9)
+        assert result == pytest.approx(1.0 / 3.0, rel=1e-3)
+
+    def test_datapath_units_share_one_tally(self):
+        units = DatapathUnits(Precision.FP32)
+        units.adder.add(1.0, 1.0)
+        units.multiplier.mul(2.0, 2.0)
+        units.exponent.exp(0.0)
+        assert units.tally.total() == 3
+        units.reset()
+        assert units.tally.total() == 0

@@ -1,0 +1,117 @@
+"""Integration tests spanning multiple subsystems.
+
+These tests exercise the full flow a downstream user follows: synthesise a
+scene, run the functional pipeline, run the hardware model, compare images,
+prune with the Mini-Splatting budget, and evaluate paper-scale speedups —
+i.e. the same steps as the examples, but with assertions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.gaurast import GauRastSystem
+from repro.datasets.nerf360 import get_scene
+from repro.gaussians.minisplat import optimize_scene
+from repro.gaussians.pipeline import render
+from repro.gaussians.synthetic import SyntheticConfig, make_synthetic_scene, scene_from_descriptor
+from repro.gaussians.tiles import TileGrid
+from repro.hardware.config import GauRastConfig
+from repro.hardware.multi import ScaledGauRast
+from repro.hardware.power import EnergyModel
+from repro.profiling.workload import WorkloadStatistics
+from repro.scheduling.collaborative import schedule_frames
+from repro.triangles.mesh import make_cube
+from repro.triangles.raster import rasterize_mesh
+from repro.triangles.transform import transform_to_screen
+from repro.hardware.rasterizer import GauRastInstance
+from repro.gaussians.camera import Camera, look_at
+
+
+class TestFunctionalVsHardwareEndToEnd:
+    def test_descriptor_scene_renders_identically_on_hardware_model(self):
+        scene = scene_from_descriptor("bonsai", scale=0.0002, seed=11)
+        functional = render(scene)
+        system = GauRastSystem(config=GauRastConfig(num_instances=3))
+        hw_image, report = system.render(scene)
+        assert np.max(np.abs(hw_image - functional.image)) < 1e-4
+        assert report.fragments_evaluated > 0
+
+    def test_same_instance_supports_both_primitive_types(self):
+        # The enhanced rasterizer must keep its triangle capability: render a
+        # Gaussian scene and a triangle mesh through the same instance.
+        config = GauRastConfig(num_instances=1)
+        instance = GauRastInstance(config)
+
+        scene = make_synthetic_scene(SyntheticConfig(num_gaussians=150, width=64, height=48, seed=2))
+        result = render(scene)
+        gaussian_image, gaussian_report = instance.rasterize_gaussians(
+            result.projected, result.binning
+        )
+
+        pose = look_at(eye=(1.0, -1.0, -3.0), target=(0.0, 0.0, 0.0))
+        camera = Camera(width=64, height=48, fx=55.0, fy=55.0, world_to_camera=pose)
+        screen = transform_to_screen(make_cube(), camera)
+        grid = TileGrid(width=64, height=48)
+        triangle_image, _, triangle_report = instance.rasterize_triangles(screen, grid)
+
+        software_triangles = rasterize_mesh(screen, grid)
+        assert np.max(np.abs(triangle_image - software_triangles.color)) < 1e-4
+        assert gaussian_report.operation_counts["exp"] > 0
+        assert triangle_report.operation_counts["div"] > 0
+        assert gaussian_image.shape == triangle_image.shape
+
+
+class TestMiniSplattingWorkloadEffect:
+    def test_pruned_scene_needs_fewer_cycles_on_hardware(self):
+        scene = make_synthetic_scene(SyntheticConfig(num_gaussians=500, width=96, height=64, seed=5))
+        optimized = optimize_scene(scene, budget=150)
+
+        rasterizer = ScaledGauRast(GauRastConfig(num_instances=2))
+        full = render(scene)
+        pruned = render(optimized)
+        _, full_report = rasterizer.simulate_frame(full.projected, full.binning)
+        _, pruned_report = rasterizer.simulate_frame(pruned.projected, pruned.binning)
+        assert pruned_report.frame_cycles < full_report.frame_cycles
+
+
+class TestPaperScalePipelineConsistency:
+    def test_evaluation_combines_models_consistently(self):
+        system = GauRastSystem()
+        evaluation = system.evaluate_scene("counter", "original")
+        workload = WorkloadStatistics.from_descriptor(get_scene("counter"), "original")
+
+        # Rasterization estimate consistent with a directly constructed model.
+        direct = ScaledGauRast(system.config).estimate(workload)
+        assert evaluation.estimate.frame_cycles == pytest.approx(direct.frame_cycles)
+
+        # Energy consistent with the energy model.
+        energy = EnergyModel(system.config).frame_energy_j(direct)
+        assert evaluation.rasterization.gaurast_energy_j == pytest.approx(energy)
+
+        # End-to-end FPS consistent with the schedule built from stage times.
+        schedule = schedule_frames(
+            evaluation.stage_times.non_rasterize,
+            evaluation.rasterization.gaurast_time_s,
+        )
+        assert evaluation.end_to_end.gaurast_fps == pytest.approx(schedule.fps)
+
+    def test_speedup_decomposition(self):
+        # End-to-end speedup = baseline frame time / pipelined interval, and
+        # the interval is bounded below by the stage 1-2 time.
+        system = GauRastSystem()
+        for evaluation in system.evaluate_all("original"):
+            interval = evaluation.end_to_end.gaurast_frame_interval_s
+            assert interval >= evaluation.stage_times.non_rasterize - 1e-12
+            assert evaluation.end_to_end.speedup == pytest.approx(
+                evaluation.stage_times.total / interval
+            )
+
+    def test_energy_improvement_tracks_speedup(self):
+        # Energy efficiency moves with speedup (same workload, similar power).
+        system = GauRastSystem()
+        for evaluation in system.evaluate_all("original"):
+            ratio = (
+                evaluation.rasterization.energy_improvement
+                / evaluation.rasterization.speedup
+            )
+            assert 0.8 < ratio < 1.5

@@ -1,0 +1,136 @@
+"""Tests for image-quality metrics and scene/image serialisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gaussians.io import load_scene, save_image_ppm, save_scene
+from repro.gaussians.metrics import compare_images, mse, psnr, ssim
+from repro.gaussians.pipeline import render
+
+
+class TestMse:
+    def test_identical_images(self):
+        image = np.random.default_rng(0).uniform(size=(8, 8, 3))
+        assert mse(image, image) == 0.0
+
+    def test_known_value(self):
+        a = np.zeros((2, 2))
+        b = np.full((2, 2), 0.5)
+        assert mse(a, b) == pytest.approx(0.25)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            mse(np.zeros((2, 2)), np.zeros((3, 2)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mse(np.zeros((0, 3)), np.zeros((0, 3)))
+
+
+class TestPsnr:
+    def test_identical_images_give_infinity(self):
+        image = np.ones((4, 4, 3)) * 0.3
+        assert psnr(image, image) == float("inf")
+
+    def test_known_value(self):
+        a = np.zeros((4, 4))
+        b = np.full((4, 4), 0.1)
+        assert psnr(a, b) == pytest.approx(20.0, abs=1e-9)
+
+    def test_invalid_data_range(self):
+        with pytest.raises(ValueError):
+            psnr(np.zeros((2, 2)), np.zeros((2, 2)), data_range=0)
+
+    @given(noise=st.floats(min_value=1e-4, max_value=0.2, allow_nan=False))
+    @settings(max_examples=40, deadline=None)
+    def test_more_noise_means_lower_psnr(self, noise):
+        rng = np.random.default_rng(3)
+        image = rng.uniform(size=(16, 16, 3))
+        small = np.clip(image + noise * 0.5, 0, 1)
+        large = np.clip(image + noise, 0, 1)
+        assert psnr(image, large) <= psnr(image, small) + 1e-9
+
+
+class TestSsim:
+    def test_identical_images_give_one(self):
+        image = np.random.default_rng(1).uniform(size=(24, 24, 3))
+        assert ssim(image, image) == pytest.approx(1.0)
+
+    def test_uncorrelated_noise_scores_low(self):
+        rng = np.random.default_rng(2)
+        a = rng.uniform(size=(32, 32))
+        b = rng.uniform(size=(32, 32))
+        assert ssim(a, b) < 0.5
+
+    def test_grayscale_supported(self):
+        image = np.random.default_rng(4).uniform(size=(16, 16))
+        assert ssim(image, image) == pytest.approx(1.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ssim(np.zeros((4, 4)), np.zeros((5, 4)))
+
+
+class TestCompareImages:
+    def test_lossless_detection(self):
+        image = np.random.default_rng(5).uniform(size=(8, 8, 3))
+        comparison = compare_images(image, image)
+        assert comparison.is_lossless
+        assert comparison.meets()
+
+    def test_degraded_image_fails_thresholds(self):
+        rng = np.random.default_rng(6)
+        image = rng.uniform(size=(16, 16, 3))
+        noisy = np.clip(image + rng.normal(scale=0.2, size=image.shape), 0, 1)
+        comparison = compare_images(image, noisy)
+        assert not comparison.is_lossless
+        assert not comparison.meets(min_psnr_db=40.0)
+
+
+class TestSceneIO:
+    def test_round_trip_preserves_scene(self, synthetic_scene, tmp_path):
+        path = save_scene(synthetic_scene, tmp_path / "scene")
+        assert path.suffix == ".npz"
+        loaded = load_scene(path)
+
+        assert loaded.name == synthetic_scene.name
+        assert loaded.num_gaussians == synthetic_scene.num_gaussians
+        assert np.allclose(loaded.cloud.positions, synthetic_scene.cloud.positions)
+        assert np.allclose(loaded.cloud.sh_coeffs, synthetic_scene.cloud.sh_coeffs)
+        camera = loaded.default_camera
+        original = synthetic_scene.default_camera
+        assert camera.resolution == original.resolution
+        assert np.allclose(camera.world_to_camera, original.world_to_camera)
+
+    def test_round_trip_renders_identically(self, tiny_scene, tmp_path):
+        path = save_scene(tiny_scene, tmp_path / "tiny.npz")
+        loaded = load_scene(path)
+        original_image = render(tiny_scene).image
+        loaded_image = render(loaded).image
+        assert np.allclose(original_image, loaded_image)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_scene(tmp_path / "does-not-exist.npz")
+
+
+class TestPpmExport:
+    def test_writes_valid_header_and_size(self, tmp_path):
+        image = np.random.default_rng(7).uniform(size=(12, 20, 3))
+        path = save_image_ppm(image, tmp_path / "frame")
+        data = path.read_bytes()
+        assert data.startswith(b"P6\n20 12\n255\n")
+        header_length = len(b"P6\n20 12\n255\n")
+        assert len(data) == header_length + 12 * 20 * 3
+
+    def test_values_clipped_to_byte_range(self, tmp_path):
+        image = np.full((2, 2, 3), 2.0)  # over-range values
+        path = save_image_ppm(image, tmp_path / "clip.ppm")
+        payload = path.read_bytes().split(b"255\n", 1)[1]
+        assert set(payload) == {255}
+
+    def test_rejects_bad_shape(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_image_ppm(np.zeros((4, 4)), tmp_path / "bad.ppm")

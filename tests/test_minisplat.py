@@ -1,0 +1,84 @@
+"""Tests for the Mini-Splatting-style Gaussian-budget pruning."""
+
+import numpy as np
+import pytest
+
+from repro.gaussians.minisplat import importance_scores, optimize_scene, prune_to_budget
+from repro.gaussians.pipeline import render
+
+
+class TestPruneToBudget:
+    def test_keeps_everything_when_within_budget(self, tiny_scene):
+        result = prune_to_budget(tiny_scene.cloud, budget=10, cameras=tiny_scene.cameras)
+        assert result.num_kept == len(tiny_scene.cloud)
+
+    def test_respects_budget(self, synthetic_scene):
+        budget = 100
+        result = prune_to_budget(
+            synthetic_scene.cloud, budget=budget, cameras=synthetic_scene.cameras
+        )
+        assert result.num_kept == budget
+
+    def test_kept_indices_are_sorted_and_unique(self, synthetic_scene):
+        result = prune_to_budget(
+            synthetic_scene.cloud, budget=50, cameras=synthetic_scene.cameras
+        )
+        kept = result.kept_indices
+        assert np.all(np.diff(kept) > 0)
+
+    def test_rejects_nonpositive_budget(self, tiny_scene):
+        with pytest.raises(ValueError):
+            prune_to_budget(tiny_scene.cloud, budget=0)
+
+    def test_camera_free_fallback_uses_volume_and_opacity(self, tiny_scene):
+        result = prune_to_budget(tiny_scene.cloud, budget=2)
+        assert result.num_kept == 2
+
+    def test_high_importance_gaussians_survive(self, synthetic_scene):
+        scores = importance_scores(synthetic_scene.cloud, synthetic_scene.cameras)
+        budget = 80
+        result = prune_to_budget(
+            synthetic_scene.cloud, budget=budget, cameras=synthetic_scene.cameras
+        )
+        top_score = np.argmax(scores)
+        assert top_score in set(result.kept_indices)
+
+
+class TestImportanceScores:
+    def test_requires_cameras(self, tiny_scene):
+        with pytest.raises(ValueError):
+            importance_scores(tiny_scene.cloud, [])
+
+    def test_scores_nonnegative(self, synthetic_scene):
+        scores = importance_scores(synthetic_scene.cloud, synthetic_scene.cameras)
+        assert np.all(scores >= 0)
+        assert len(scores) == len(synthetic_scene.cloud)
+
+    def test_invisible_gaussians_score_zero(self, tiny_scene):
+        cloud = tiny_scene.cloud
+        # Move one Gaussian behind the camera.
+        positions = cloud.positions.copy()
+        positions[0, 2] = -5.0
+        moved = cloud.subset(range(len(cloud)))
+        moved.positions = positions
+        scores = importance_scores(moved, tiny_scene.cameras)
+        assert scores[0] == 0.0
+        assert scores[1] > 0.0
+
+
+class TestOptimizeScene:
+    def test_reduces_workload(self, synthetic_scene):
+        optimized = optimize_scene(synthetic_scene, budget=120)
+        assert optimized.num_gaussians == 120
+        assert optimized.name.endswith("-optimized")
+
+        baseline = render(synthetic_scene)
+        reduced = render(optimized)
+        assert reduced.num_sort_keys < baseline.num_sort_keys
+        assert reduced.fragments_evaluated < baseline.fragments_evaluated
+
+    def test_optimized_scene_still_renders_content(self, synthetic_scene):
+        optimized = optimize_scene(synthetic_scene, budget=150)
+        result = render(optimized)
+        assert result.fragments_evaluated > 0
+        assert np.any(result.image > 0)

@@ -1,0 +1,69 @@
+"""Tests for the end-to-end functional 3DGS pipeline and scene containers."""
+
+import numpy as np
+import pytest
+
+from repro.gaussians.camera import Camera
+from repro.gaussians.pipeline import render
+from repro.gaussians.scene import GaussianScene
+
+
+class TestRender:
+    def test_render_produces_image_of_camera_size(self, tiny_scene):
+        result = render(tiny_scene)
+        camera = tiny_scene.default_camera
+        assert result.image.shape == (camera.height, camera.width, 3)
+
+    def test_all_three_gaussians_visible(self, tiny_scene):
+        result = render(tiny_scene)
+        assert result.preprocess_stats.num_projected == 3
+        assert result.num_sort_keys >= 3
+
+    def test_stats_are_consistent(self, synthetic_render):
+        result = synthetic_render
+        assert result.fragments_evaluated > 0
+        assert result.fragments_evaluated <= (
+            result.binning.num_keys * result.binning.grid.pixels_per_tile
+        )
+
+    def test_explicit_camera_overrides_default(self, tiny_scene):
+        other = Camera(width=32, height=24, fx=30.0, fy=30.0)
+        result = render(tiny_scene, camera=other)
+        assert result.image.shape == (24, 32, 3)
+
+    def test_background_fills_empty_regions(self, tiny_scene):
+        result = render(tiny_scene, background=(0.2, 0.4, 0.6))
+        assert result.image[0, 0] == pytest.approx([0.2, 0.4, 0.6])
+
+    def test_disabling_stats_keeps_image_identical(self, tiny_scene):
+        with_stats = render(tiny_scene, collect_stats=True)
+        without_stats = render(tiny_scene, collect_stats=False)
+        assert np.allclose(with_stats.image, without_stats.image)
+
+    def test_foreground_gaussian_colors_reach_image(self, tiny_scene):
+        result = render(tiny_scene)
+        camera = tiny_scene.default_camera
+        center = result.image[camera.height // 2, camera.width // 2]
+        # The nearest Gaussian is red and sits on the optical axis.
+        assert center[0] > center[1]
+        assert center[0] > center[2]
+
+
+class TestGaussianScene:
+    def test_requires_a_camera(self, tiny_cloud):
+        with pytest.raises(ValueError):
+            GaussianScene(cloud=tiny_cloud, cameras=[])
+
+    def test_num_gaussians(self, tiny_scene):
+        assert tiny_scene.num_gaussians == 3
+
+    def test_with_cloud_preserves_cameras(self, tiny_scene):
+        reduced = tiny_scene.with_cloud(tiny_scene.cloud.subset([0]))
+        assert reduced.num_gaussians == 1
+        assert reduced.cameras == tiny_scene.cameras
+
+    def test_bounding_box_contains_all_positions(self, synthetic_scene):
+        box = synthetic_scene.bounding_box()
+        positions = synthetic_scene.cloud.positions
+        assert np.all(positions >= box[0] - 1e-12)
+        assert np.all(positions <= box[1] + 1e-12)

@@ -1,0 +1,104 @@
+"""Tests for workload statistics and the pipeline profiler."""
+
+import pytest
+
+from repro.baselines.jetson import JetsonOrinNX
+from repro.datasets.nerf360 import get_scene, iter_scenes
+from repro.profiling.profiler import profile_pipeline, profile_scenes
+from repro.profiling.workload import WorkloadStatistics
+
+
+class TestWorkloadFromDescriptor:
+    def test_fields_copied_from_descriptor(self):
+        descriptor = get_scene("kitchen")
+        workload = WorkloadStatistics.from_descriptor(descriptor, "original")
+        assert workload.scene_name == "kitchen"
+        assert workload.width == descriptor.width
+        assert workload.num_gaussians == descriptor.original.num_gaussians
+        assert workload.sort_keys == descriptor.sort_keys("original")
+        assert workload.num_tiles == descriptor.num_tiles
+
+    def test_nominal_fragments(self):
+        workload = WorkloadStatistics.from_descriptor(get_scene("bonsai"))
+        assert workload.nominal_fragments == workload.sort_keys * 256
+        assert workload.evaluated_fragments == pytest.approx(
+            workload.nominal_fragments * workload.evaluated_fraction
+        )
+
+    def test_optimized_workload_is_lighter(self):
+        for descriptor in iter_scenes():
+            original = WorkloadStatistics.from_descriptor(descriptor, "original")
+            optimized = WorkloadStatistics.from_descriptor(descriptor, "optimized")
+            assert optimized.sort_keys < original.sort_keys
+            assert optimized.num_gaussians < original.num_gaussians
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadStatistics(
+                scene_name="x", algorithm="bad", width=10, height=10,
+                num_gaussians=1, num_tiles=1, occupied_tiles=1, sort_keys=1,
+                evaluated_fraction=0.9,
+            )
+        with pytest.raises(ValueError):
+            WorkloadStatistics(
+                scene_name="x", algorithm="original", width=10, height=10,
+                num_gaussians=1, num_tiles=1, occupied_tiles=2, sort_keys=1,
+                evaluated_fraction=0.9,
+            )
+        with pytest.raises(ValueError):
+            WorkloadStatistics(
+                scene_name="x", algorithm="original", width=10, height=10,
+                num_gaussians=1, num_tiles=1, occupied_tiles=1, sort_keys=1,
+                evaluated_fraction=0.0,
+            )
+
+
+class TestWorkloadFromRender:
+    def test_measured_statistics_match_render(self, synthetic_render):
+        workload = WorkloadStatistics.from_render(
+            synthetic_render, scene_name="synthetic"
+        )
+        assert workload.sort_keys == synthetic_render.num_sort_keys
+        assert workload.occupied_tiles == synthetic_render.binning.num_occupied_tiles
+        assert 0 < workload.evaluated_fraction <= 1.0
+        assert workload.mean_keys_per_occupied_tile == pytest.approx(
+            workload.sort_keys / workload.occupied_tiles
+        )
+
+    def test_evaluated_fraction_reflects_early_termination(self, synthetic_render):
+        workload = WorkloadStatistics.from_render(synthetic_render)
+        measured = (
+            synthetic_render.raster_stats.fragments_evaluated
+            / synthetic_render.binning.num_keys
+            / 256
+        )
+        assert workload.evaluated_fraction == pytest.approx(measured, rel=1e-6)
+
+
+class TestProfiler:
+    def test_breakdown_matches_platform_stage_times(self):
+        baseline = JetsonOrinNX()
+        workload = WorkloadStatistics.from_descriptor(get_scene("room"))
+        breakdown = profile_pipeline(baseline, workload)
+        times = baseline.stage_times(workload)
+        assert breakdown.preprocess_s == pytest.approx(times.preprocess)
+        assert breakdown.sort_s == pytest.approx(times.sort)
+        assert breakdown.rasterize_s == pytest.approx(times.rasterize)
+        assert breakdown.total_s == pytest.approx(times.total)
+        assert breakdown.scene_name == "room"
+
+    def test_fractions_sum_to_one(self):
+        baseline = JetsonOrinNX()
+        workload = WorkloadStatistics.from_descriptor(get_scene("stump"))
+        breakdown = profile_pipeline(baseline, workload)
+        assert sum(breakdown.fractions.values()) == pytest.approx(1.0)
+        assert breakdown.rasterize_fraction == breakdown.fractions["rasterize"]
+
+    def test_profile_scenes_returns_one_breakdown_per_workload(self):
+        baseline = JetsonOrinNX()
+        workloads = [
+            WorkloadStatistics.from_descriptor(descriptor) for descriptor in iter_scenes()
+        ]
+        breakdowns = profile_scenes(baseline, workloads)
+        assert len(breakdowns) == 7
+        assert [b.scene_name for b in breakdowns] == [w.scene_name for w in workloads]

@@ -1,0 +1,159 @@
+"""Tests for frustum culling and the preprocessing (projection) stage."""
+
+import numpy as np
+import pytest
+
+from repro.gaussians.camera import Camera
+from repro.gaussians.culling import cull, frustum_cull_mask
+from repro.gaussians.gaussian import GaussianCloud
+from repro.gaussians.projection import (
+    invert_cov2d,
+    preprocess,
+    project_covariances,
+    screen_radius,
+)
+from repro.gaussians.sh import rgb_to_sh_dc
+
+
+def _single_gaussian(position, scale=0.2, opacity=0.8, color=(0.6, 0.3, 0.1)):
+    return GaussianCloud(
+        positions=np.array([position], dtype=float),
+        scales=np.full((1, 3), scale),
+        rotations=np.array([[1.0, 0.0, 0.0, 0.0]]),
+        opacities=np.array([opacity]),
+        sh_coeffs=rgb_to_sh_dc(np.array([color]))[:, np.newaxis, :],
+    )
+
+
+class TestCulling:
+    def test_gaussian_behind_camera_is_culled(self, small_camera):
+        mask = frustum_cull_mask(small_camera, np.array([[0.0, 0.0, -1.0]]))
+        assert not mask[0]
+
+    def test_gaussian_in_front_is_kept(self, small_camera):
+        mask = frustum_cull_mask(small_camera, np.array([[0.0, 0.0, 2.0]]))
+        assert mask[0]
+
+    def test_gaussian_far_outside_fov_is_culled(self, small_camera):
+        mask = frustum_cull_mask(small_camera, np.array([[100.0, 0.0, 1.0]]))
+        assert not mask[0]
+
+    def test_gaussian_beyond_far_plane_is_culled(self):
+        camera = Camera(width=64, height=64, fx=60, fy=60, zfar=10.0)
+        mask = frustum_cull_mask(camera, np.array([[0.0, 0.0, 50.0]]))
+        assert not mask[0]
+
+    def test_cull_returns_indices(self, small_camera):
+        positions = np.array(
+            [[0.0, 0.0, 2.0], [0.0, 0.0, -2.0], [0.1, 0.1, 3.0]]
+        )
+        kept = cull(small_camera, positions)
+        assert list(kept) == [0, 2]
+
+
+class TestCovarianceProjection:
+    def test_projected_covariance_is_symmetric_positive(self, small_camera):
+        cloud = _single_gaussian([0.1, -0.05, 3.0])
+        cam_points = small_camera.to_camera_space(cloud.positions)
+        cov2d = project_covariances(small_camera, cam_points, cloud.covariances())
+        assert cov2d.shape == (1, 2, 2)
+        assert cov2d[0, 0, 1] == pytest.approx(cov2d[0, 1, 0])
+        assert np.all(np.linalg.eigvalsh(cov2d[0]) > 0)
+
+    def test_closer_gaussian_has_larger_footprint(self, small_camera):
+        near = _single_gaussian([0.0, 0.0, 2.0])
+        far = _single_gaussian([0.0, 0.0, 8.0])
+        radius_near = _projected_radius(small_camera, near)
+        radius_far = _projected_radius(small_camera, far)
+        assert radius_near > radius_far
+
+    def test_invert_cov2d_flags_degenerate(self):
+        cov = np.array([[[1.0, 0.0], [0.0, 0.0]]])
+        conics, valid = invert_cov2d(cov)
+        assert not valid[0]
+
+    def test_invert_cov2d_matches_numpy_inverse(self):
+        cov = np.array([[[2.0, 0.3], [0.3, 1.5]]])
+        conics, valid = invert_cov2d(cov)
+        assert valid[0]
+        inverse = np.linalg.inv(cov[0])
+        assert conics[0, 0] == pytest.approx(inverse[0, 0])
+        assert conics[0, 1] == pytest.approx(inverse[0, 1])
+        assert conics[0, 2] == pytest.approx(inverse[1, 1])
+
+    def test_screen_radius_is_three_sigma_of_major_axis(self):
+        cov = np.array([[[4.0, 0.0], [0.0, 4.0]]])
+        radius = screen_radius(cov)
+        # The reference implementation guards the discriminant with a 0.1
+        # floor, so the major eigenvalue is 4 + sqrt(0.1).
+        expected = np.ceil(3.0 * np.sqrt(4.0 + np.sqrt(0.1)))
+        assert radius[0] == pytest.approx(expected)
+        # A wider covariance must produce a larger radius.
+        wider = screen_radius(np.array([[[9.0, 0.0], [0.0, 4.0]]]))
+        assert wider[0] > radius[0]
+
+
+def _projected_radius(camera, cloud):
+    projected, _ = preprocess(cloud, camera)
+    assert len(projected) == 1
+    return projected.radii[0]
+
+
+class TestPreprocess:
+    def test_projects_visible_gaussian(self, small_camera):
+        cloud = _single_gaussian([0.0, 0.0, 3.0], color=(0.6, 0.3, 0.1))
+        projected, stats = preprocess(cloud, small_camera)
+        assert len(projected) == 1
+        assert stats.num_projected == 1
+        assert stats.visible_fraction == 1.0
+        assert projected.means[0] == pytest.approx(
+            [small_camera.cx, small_camera.cy], abs=1e-6
+        )
+        assert projected.depths[0] == pytest.approx(3.0)
+        assert projected.colors[0] == pytest.approx([0.6, 0.3, 0.1], abs=1e-9)
+
+    def test_culled_gaussian_not_projected(self, small_camera):
+        cloud = _single_gaussian([0.0, 0.0, -3.0])
+        projected, stats = preprocess(cloud, small_camera)
+        assert len(projected) == 0
+        assert stats.num_culled == 1
+
+    def test_empty_cloud(self, small_camera):
+        cloud = _single_gaussian([0.0, 0.0, 3.0]).subset([])
+        projected, stats = preprocess(cloud, small_camera)
+        assert len(projected) == 0
+        assert stats.num_input == 0
+
+    def test_source_indices_track_original_positions(self, small_camera):
+        positions = np.array(
+            [[0.0, 0.0, -2.0], [0.0, 0.0, 3.0], [0.05, 0.0, 4.0]]
+        )
+        cloud = GaussianCloud(
+            positions=positions,
+            scales=np.full((3, 3), 0.2),
+            rotations=np.tile([1.0, 0, 0, 0], (3, 1)),
+            opacities=np.full(3, 0.9),
+            sh_coeffs=np.zeros((3, 1, 3)),
+        )
+        projected, _ = preprocess(cloud, small_camera)
+        assert set(projected.source_indices) == {1, 2}
+
+    def test_stats_counts_are_consistent(self, synthetic_scene):
+        projected, stats = preprocess(
+            synthetic_scene.cloud, synthetic_scene.default_camera
+        )
+        assert stats.num_input == len(synthetic_scene.cloud)
+        assert stats.num_projected == len(projected)
+        assert stats.num_projected <= stats.num_input - stats.num_culled
+
+    def test_depths_are_positive(self, synthetic_scene):
+        projected, _ = preprocess(
+            synthetic_scene.cloud, synthetic_scene.default_camera
+        )
+        assert np.all(projected.depths > 0)
+
+    def test_radii_are_positive(self, synthetic_scene):
+        projected, _ = preprocess(
+            synthetic_scene.cloud, synthetic_scene.default_camera
+        )
+        assert np.all(projected.radii > 0)

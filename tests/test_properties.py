@@ -1,0 +1,144 @@
+"""Cross-cutting property-based tests on core invariants.
+
+Hypothesis-driven tests that exercise the rendering and hardware models over
+randomly generated scenes and configurations, checking invariants that must
+hold regardless of input:
+
+* alpha-compositing conservation (colour energy never exceeds what the
+  splats plus background can provide),
+* hardware/functional equivalence for arbitrary small scenes,
+* monotonicity of the performance model in the workload parameters.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gaussians.gaussian import ProjectedGaussians
+from repro.gaussians.rasterize import rasterize_tiles
+from repro.gaussians.sorting import bin_and_sort
+from repro.gaussians.tiles import TileGrid
+from repro.hardware.config import GauRastConfig
+from repro.hardware.multi import ScaledGauRast
+from repro.hardware.rasterizer import GauRastInstance
+from repro.profiling.workload import WorkloadStatistics
+
+
+def _random_projected(rng, count, extent=48.0):
+    sigma = rng.uniform(1.0, 4.0, size=count)
+    conic = 1.0 / (sigma * sigma)
+    return ProjectedGaussians(
+        means=rng.uniform(0, extent, size=(count, 2)),
+        cov_inverses=np.stack([conic, np.zeros(count), conic], axis=1),
+        depths=rng.uniform(0.5, 20.0, size=count),
+        colors=rng.uniform(0.0, 1.0, size=(count, 3)),
+        opacities=rng.uniform(0.05, 1.0, size=count),
+        radii=np.ceil(3.0 * sigma),
+        source_indices=np.arange(count),
+    )
+
+
+class TestCompositingInvariants:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        count=st.integers(min_value=1, max_value=25),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_pixel_colors_bounded_by_max_splat_and_background(self, seed, count):
+        rng = np.random.default_rng(seed)
+        projected = _random_projected(rng, count)
+        grid = TileGrid(width=48, height=48)
+        binning = bin_and_sort(projected, grid)
+        image, _ = rasterize_tiles(projected, binning, background=(0.2, 0.2, 0.2))
+        # Per-channel, the composited colour is a convex-ish combination of
+        # splat colours and background, so it cannot exceed the channel max.
+        channel_max = max(projected.colors.max(), 0.2)
+        assert image.max() <= channel_max + 1e-9
+        assert image.min() >= 0.0
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_transmittance_never_negative_through_hardware_path(self, seed):
+        rng = np.random.default_rng(seed)
+        projected = _random_projected(rng, 10)
+        grid = TileGrid(width=32, height=32)
+        binning = bin_and_sort(projected, grid)
+        instance = GauRastInstance(GauRastConfig(num_instances=1))
+        image, report = instance.rasterize_gaussians(projected, binning)
+        assert np.all(image >= -1e-12)
+        assert report.fragments_evaluated >= 0
+
+
+class TestHardwareFunctionalEquivalence:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        count=st.integers(min_value=1, max_value=20),
+        instances=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_multi_instance_simulation_matches_golden_renderer(
+        self, seed, count, instances
+    ):
+        rng = np.random.default_rng(seed)
+        projected = _random_projected(rng, count)
+        grid = TileGrid(width=48, height=32)
+        binning = bin_and_sort(projected, grid)
+
+        golden, _ = rasterize_tiles(projected, binning)
+        scaled = ScaledGauRast(GauRastConfig(num_instances=instances))
+        hardware, _ = scaled.simulate_frame(projected, binning)
+        assert np.max(np.abs(golden - hardware)) < 1e-4
+
+
+class TestPerformanceModelMonotonicity:
+    @given(
+        keys=st.integers(min_value=1_000, max_value=5_000_000),
+        scale=st.floats(min_value=1.1, max_value=4.0, allow_nan=False),
+        evaluated=st.floats(min_value=0.3, max_value=1.0, allow_nan=False),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_more_keys_never_faster(self, keys, scale, evaluated):
+        def workload(num_keys):
+            return WorkloadStatistics(
+                scene_name="w", algorithm="original", width=1200, height=800,
+                num_gaussians=max(1, num_keys // 3), num_tiles=3800,
+                occupied_tiles=3800, sort_keys=num_keys,
+                evaluated_fraction=evaluated,
+            )
+
+        rasterizer = ScaledGauRast(GauRastConfig(num_instances=15))
+        small = rasterizer.estimate_runtime(workload(keys))
+        large = rasterizer.estimate_runtime(workload(int(keys * scale)))
+        assert large >= small
+
+    @given(
+        instances=st.integers(min_value=1, max_value=30),
+        more=st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_more_instances_never_slower(self, instances, more):
+        workload = WorkloadStatistics(
+            scene_name="w", algorithm="original", width=1200, height=800,
+            num_gaussians=1_000_000, num_tiles=3800, occupied_tiles=3800,
+            sort_keys=2_000_000, evaluated_fraction=0.8,
+        )
+        few = ScaledGauRast(GauRastConfig(num_instances=instances))
+        many = ScaledGauRast(GauRastConfig(num_instances=instances + more))
+        assert many.estimate_runtime(workload) <= few.estimate_runtime(workload) + 1e-12
+
+    @given(evaluated=st.floats(min_value=0.2, max_value=0.99, allow_nan=False))
+    @settings(max_examples=30, deadline=None)
+    def test_early_termination_reduces_runtime_but_not_below_control(self, evaluated):
+        def workload(fraction):
+            return WorkloadStatistics(
+                scene_name="w", algorithm="original", width=1200, height=800,
+                num_gaussians=1_000_000, num_tiles=3800, occupied_tiles=3800,
+                sort_keys=2_000_000, evaluated_fraction=fraction,
+            )
+
+        rasterizer = ScaledGauRast(GauRastConfig(num_instances=15))
+        full = rasterizer.estimate(workload(1.0))
+        reduced = rasterizer.estimate(workload(evaluated))
+        assert reduced.frame_cycles <= full.frame_cycles
+        assert reduced.frame_cycles >= reduced.control_cycles_per_instance

@@ -1,0 +1,197 @@
+"""Tests for the functional Gaussian rasterizer (Stage 3 golden model)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gaussians.gaussian import ProjectedGaussians
+from repro.gaussians.rasterize import (
+    ALPHA_MAX,
+    ALPHA_SKIP_THRESHOLD,
+    gaussian_alpha,
+    rasterize_reference,
+    rasterize_tile,
+    rasterize_tiles,
+    RasterStats,
+)
+from repro.gaussians.sorting import bin_and_sort
+from repro.gaussians.tiles import TileGrid
+
+
+def _splat(mean, color, opacity=0.9, depth=1.0, sigma=2.0, radius=8.0):
+    conic = 1.0 / (sigma * sigma)
+    return dict(
+        mean=mean, color=color, opacity=opacity, depth=depth, conic=conic, radius=radius
+    )
+
+
+def _projected_from(splats):
+    return ProjectedGaussians(
+        means=np.array([s["mean"] for s in splats], dtype=float),
+        cov_inverses=np.array([[s["conic"], 0.0, s["conic"]] for s in splats]),
+        depths=np.array([s["depth"] for s in splats], dtype=float),
+        colors=np.array([s["color"] for s in splats], dtype=float),
+        opacities=np.array([s["opacity"] for s in splats], dtype=float),
+        radii=np.array([s["radius"] for s in splats], dtype=float),
+        source_indices=np.arange(len(splats)),
+    )
+
+
+class TestGaussianAlpha:
+    def test_peak_at_center(self):
+        pixels = np.array([[10.0, 10.0], [14.0, 10.0]])
+        alpha = gaussian_alpha(pixels, np.array([10.0, 10.0]), np.array([0.25, 0.0, 0.25]), 0.8)
+        assert alpha[0] == pytest.approx(0.8)
+        assert alpha[1] < alpha[0]
+
+    def test_alpha_clamped_to_max(self):
+        pixels = np.array([[0.0, 0.0]])
+        alpha = gaussian_alpha(pixels, np.zeros(2), np.array([0.25, 0.0, 0.25]), 1.0)
+        assert alpha[0] == pytest.approx(ALPHA_MAX)
+
+    def test_far_pixels_negligible(self):
+        pixels = np.array([[100.0, 100.0]])
+        alpha = gaussian_alpha(pixels, np.zeros(2), np.array([0.25, 0.0, 0.25]), 1.0)
+        assert alpha[0] < ALPHA_SKIP_THRESHOLD
+
+    @given(
+        ox=st.floats(min_value=-5, max_value=5, allow_nan=False),
+        oy=st.floats(min_value=-5, max_value=5, allow_nan=False),
+        opacity=st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_alpha_bounded_and_decreasing_with_distance(self, ox, oy, opacity):
+        center = np.array([10.0, 10.0])
+        near = center + np.array([ox, oy]) * 0.1
+        far = center + np.array([ox, oy])
+        pixels = np.stack([near, far])
+        alpha = gaussian_alpha(pixels, center, np.array([0.3, 0.0, 0.3]), opacity)
+        assert np.all(alpha >= 0)
+        assert np.all(alpha <= ALPHA_MAX)
+        assert alpha[0] >= alpha[1] - 1e-12
+
+
+class TestRasterizeTile:
+    def test_single_opaque_splat_dominates_center_pixel(self):
+        projected = _projected_from(
+            [_splat([8.0, 8.0], [1.0, 0.0, 0.0], opacity=0.95)]
+        )
+        grid = TileGrid(width=16, height=16)
+        pixels = grid.tile_pixel_centers(0)
+        color = rasterize_tile(projected, np.array([0]), pixels, np.zeros(3))
+        center_index = 8 * 16 + 8
+        assert color[center_index, 0] > 0.85
+        assert color[center_index, 1] < 0.05
+
+    def test_front_to_back_occlusion(self):
+        # A nearly opaque red splat in front of a green one: red must dominate.
+        projected = _projected_from(
+            [
+                _splat([8.0, 8.0], [1.0, 0.0, 0.0], opacity=0.99, depth=1.0),
+                _splat([8.0, 8.0], [0.0, 1.0, 0.0], opacity=0.99, depth=2.0),
+            ]
+        )
+        grid = TileGrid(width=16, height=16)
+        pixels = grid.tile_pixel_centers(0)
+        color = rasterize_tile(projected, np.array([0, 1]), pixels, np.zeros(3))
+        center = color[8 * 16 + 8]
+        assert center[0] > 10 * center[1]
+
+    def test_order_matters_for_occlusion(self):
+        projected = _projected_from(
+            [
+                _splat([8.0, 8.0], [1.0, 0.0, 0.0], opacity=0.99, depth=1.0),
+                _splat([8.0, 8.0], [0.0, 1.0, 0.0], opacity=0.99, depth=2.0),
+            ]
+        )
+        grid = TileGrid(width=16, height=16)
+        pixels = grid.tile_pixel_centers(0)
+        front_first = rasterize_tile(projected, np.array([0, 1]), pixels, np.zeros(3))
+        back_first = rasterize_tile(projected, np.array([1, 0]), pixels, np.zeros(3))
+        assert not np.allclose(front_first, back_first)
+
+    def test_background_shows_through_transparent_splats(self):
+        projected = _projected_from(
+            [_splat([8.0, 8.0], [1.0, 0.0, 0.0], opacity=0.05)]
+        )
+        grid = TileGrid(width=16, height=16)
+        pixels = grid.tile_pixel_centers(0)
+        background = np.array([0.0, 0.0, 1.0])
+        color = rasterize_tile(projected, np.array([0]), pixels, background)
+        corner = color[0]
+        assert corner[2] > 0.9
+
+    def test_stats_count_fragments(self):
+        projected = _projected_from(
+            [_splat([8.0, 8.0], [1.0, 0.0, 0.0]), _splat([8.0, 8.0], [0.0, 1.0, 0.0])]
+        )
+        grid = TileGrid(width=16, height=16)
+        pixels = grid.tile_pixel_centers(0)
+        stats = RasterStats()
+        rasterize_tile(projected, np.array([0, 1]), pixels, np.zeros(3), stats)
+        assert stats.tiles_processed == 1
+        assert stats.fragments_evaluated <= 2 * 256
+        assert stats.fragments_blended <= stats.fragments_evaluated
+        assert 0.0 <= stats.blend_fraction <= 1.0
+
+    def test_early_termination_reduces_evaluated_fragments(self):
+        # Many opaque splats on the same pixel: later ones must be skipped.
+        splats = [
+            _splat([8.0, 8.0], [1.0, 0.0, 0.0], opacity=0.99, depth=i + 1.0)
+            for i in range(40)
+        ]
+        projected = _projected_from(splats)
+        grid = TileGrid(width=16, height=16)
+        pixels = grid.tile_pixel_centers(0)
+        stats = RasterStats()
+        rasterize_tile(projected, np.arange(40), pixels, np.zeros(3), stats)
+        assert stats.fragments_evaluated < 40 * 256
+
+
+class TestRasterizeFrame:
+    def test_image_shape_and_background(self):
+        projected = _projected_from([_splat([8.0, 8.0], [1.0, 0.0, 0.0])])
+        grid = TileGrid(width=48, height=32)
+        binning = bin_and_sort(projected, grid)
+        image, stats = rasterize_tiles(projected, binning, background=(0.1, 0.2, 0.3))
+        assert image.shape == (32, 48, 3)
+        # A far-away corner keeps the background colour.
+        assert image[-1, -1] == pytest.approx([0.1, 0.2, 0.3])
+        assert stats.tiles_processed == binning.num_occupied_tiles
+
+    def test_tiled_matches_reference_renderer(self):
+        rng = np.random.default_rng(5)
+        splats = [
+            _splat(
+                rng.uniform(4, 44, size=2),
+                rng.uniform(0, 1, size=3),
+                opacity=rng.uniform(0.3, 0.95),
+                depth=rng.uniform(1, 10),
+                sigma=rng.uniform(1.0, 3.0),
+                radius=12.0,
+            )
+            for _ in range(12)
+        ]
+        projected = _projected_from(splats)
+        grid = TileGrid(width=48, height=48)
+        binning = bin_and_sort(projected, grid)
+        tiled, _ = rasterize_tiles(projected, binning)
+        reference = rasterize_reference(projected, grid)
+        # The tiled renderer only cuts off contributions below the footprint
+        # radius, which are below the alpha threshold, so images agree closely.
+        assert np.max(np.abs(tiled - reference)) < 5e-3
+
+    def test_empty_scene_renders_background(self):
+        grid = TileGrid(width=32, height=32)
+        binning = bin_and_sort(ProjectedGaussians.empty(), grid)
+        image, stats = rasterize_tiles(
+            ProjectedGaussians.empty(), binning, background=(0.5, 0.5, 0.5)
+        )
+        assert np.allclose(image, 0.5)
+        assert stats.fragments_evaluated == 0
+
+    def test_colors_are_finite_and_nonnegative(self, synthetic_render):
+        image = synthetic_render.image
+        assert np.all(np.isfinite(image))
+        assert np.all(image >= 0.0)

@@ -1,0 +1,97 @@
+"""Tests for the CUDA-collaborative scheduling model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scheduling.collaborative import (
+    schedule_frames,
+    serial_schedule,
+    steady_state_fps,
+)
+
+
+class TestPipelinedSchedule:
+    def test_steady_state_interval_is_max_of_stages(self):
+        result = schedule_frames(0.040, 0.015, num_frames=10)
+        assert result.steady_state_interval == pytest.approx(0.040)
+        assert result.fps == pytest.approx(25.0)
+
+    def test_rasterizer_bound_case(self):
+        result = schedule_frames(0.010, 0.030, num_frames=10)
+        assert result.steady_state_interval == pytest.approx(0.030)
+
+    def test_frame_latency_is_sum_of_stages(self):
+        result = schedule_frames(0.04, 0.015)
+        assert result.frame_latency == pytest.approx(0.055)
+
+    def test_timeline_respects_resource_exclusivity(self):
+        result = schedule_frames(0.02, 0.03, num_frames=12)
+        timelines = result.timelines
+        for previous, current in zip(timelines, timelines[1:]):
+            # The rasterizer processes frames one at a time, in order.
+            assert current.stage3_start >= previous.stage3_end - 1e-12
+            # A frame's rasterization starts only after its stages 1-2 end.
+            assert current.stage3_start >= current.stage12_end - 1e-12
+
+    def test_throughput_approaches_steady_state_for_long_runs(self):
+        result = schedule_frames(0.04, 0.015, num_frames=200)
+        assert result.throughput_fps == pytest.approx(result.fps, rel=0.02)
+
+    def test_utilizations_bounded(self):
+        result = schedule_frames(0.04, 0.015, num_frames=20)
+        assert 0 < result.cuda_utilization <= 1.0 + 1e-9
+        assert 0 < result.rasterizer_utilization <= 1.0 + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            schedule_frames(-0.01, 0.01)
+        with pytest.raises(ValueError):
+            schedule_frames(0.01, 0.01, num_frames=0)
+
+
+class TestSerialSchedule:
+    def test_interval_is_sum_of_stages(self):
+        result = serial_schedule(0.04, 0.015, num_frames=5)
+        assert result.steady_state_interval == pytest.approx(0.055)
+        assert result.makespan == pytest.approx(5 * 0.055)
+
+    def test_serial_never_faster_than_pipelined(self):
+        serial = serial_schedule(0.03, 0.02)
+        pipelined = schedule_frames(0.03, 0.02)
+        assert serial.fps <= pipelined.fps
+
+
+class TestSteadyStateFps:
+    def test_matches_schedule(self):
+        assert steady_state_fps(0.04, 0.015) == pytest.approx(
+            schedule_frames(0.04, 0.015).fps
+        )
+
+    def test_zero_times_give_infinite_fps(self):
+        assert steady_state_fps(0.0, 0.0) == float("inf")
+
+    @given(
+        stage12=st.floats(min_value=1e-4, max_value=0.5, allow_nan=False),
+        stage3=st.floats(min_value=1e-4, max_value=0.5, allow_nan=False),
+        num_frames=st.integers(min_value=1, max_value=50),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_pipelining_gain_bounded_by_two(self, stage12, stage3, num_frames):
+        pipelined = schedule_frames(stage12, stage3, num_frames=num_frames)
+        serial = serial_schedule(stage12, stage3, num_frames=num_frames)
+        gain = pipelined.fps / serial.fps
+        # Overlapping two stages can at most double the throughput, and can
+        # never hurt it.
+        assert 1.0 - 1e-9 <= gain <= 2.0 + 1e-9
+
+    @given(
+        stage12=st.floats(min_value=1e-4, max_value=0.5, allow_nan=False),
+        stage3=st.floats(min_value=1e-4, max_value=0.5, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_makespan_consistent_with_completion_times(self, stage12, stage3):
+        result = schedule_frames(stage12, stage3, num_frames=7)
+        ends = [t.stage3_end for t in result.timelines]
+        assert result.makespan == pytest.approx(max(ends))
+        assert all(b >= a for a, b in zip(ends, ends[1:]))

@@ -1,0 +1,126 @@
+"""Tests for spherical-harmonics colour evaluation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gaussians.sh import (
+    SH_C0,
+    evaluate_sh_colors,
+    num_sh_coeffs,
+    rgb_to_sh_dc,
+    sh_basis,
+    sh_dc_to_rgb,
+)
+
+
+unit_vectors = st.lists(
+    st.floats(min_value=-1.0, max_value=1.0, allow_nan=False), min_size=3, max_size=3
+).filter(lambda v: sum(x * x for x in v) > 1e-3)
+
+
+class TestBasis:
+    def test_coefficient_counts(self):
+        assert [num_sh_coeffs(d) for d in range(4)] == [1, 4, 9, 16]
+
+    def test_invalid_degree_rejected(self):
+        with pytest.raises(ValueError):
+            num_sh_coeffs(4)
+
+    def test_degree0_basis_is_constant(self):
+        dirs = np.random.default_rng(0).normal(size=(10, 3))
+        dirs /= np.linalg.norm(dirs, axis=1, keepdims=True)
+        basis = sh_basis(dirs, 0)
+        assert basis.shape == (10, 1)
+        assert np.allclose(basis, SH_C0)
+
+    def test_basis_shapes_per_degree(self):
+        dirs = np.array([[0.0, 0.0, 1.0]])
+        for degree in range(4):
+            assert sh_basis(dirs, degree).shape == (1, num_sh_coeffs(degree))
+
+    def test_degree1_components_follow_direction(self):
+        basis_z = sh_basis(np.array([[0.0, 0.0, 1.0]]), 1)[0]
+        # For +z the only non-zero degree-1 term is the z component.
+        assert basis_z[2] > 0
+        assert basis_z[1] == pytest.approx(0.0)
+        assert basis_z[3] == pytest.approx(0.0)
+
+    @given(direction=unit_vectors)
+    @settings(max_examples=50, deadline=None)
+    def test_basis_is_invariant_to_direction_scale(self, direction):
+        direction = np.asarray(direction)
+        unit = direction / np.linalg.norm(direction)
+        basis_a = sh_basis(unit[np.newaxis, :], 3)
+        basis_b = sh_basis((unit * 1.0)[np.newaxis, :], 3)
+        assert np.allclose(basis_a, basis_b)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            sh_basis(np.zeros((2, 4)), 1)
+
+
+class TestColorEvaluation:
+    def test_dc_round_trip(self):
+        rgb = np.array([[0.2, 0.5, 0.8], [0.0, 1.0, 0.3]])
+        dc = rgb_to_sh_dc(rgb)
+        assert np.allclose(sh_dc_to_rgb(dc), rgb)
+
+    def test_dc_only_colors_are_view_independent(self):
+        rgb = np.array([[0.3, 0.6, 0.9]])
+        coeffs = np.zeros((1, 9, 3))
+        coeffs[:, 0, :] = rgb_to_sh_dc(rgb)
+        for direction in ([0, 0, 1], [1, 0, 0], [0.5, -0.5, 0.7]):
+            colors = evaluate_sh_colors(coeffs, np.array([direction]))
+            assert colors == pytest.approx(rgb, abs=1e-12)
+
+    def test_higher_order_terms_are_view_dependent(self):
+        rng = np.random.default_rng(1)
+        coeffs = rng.normal(scale=0.3, size=(1, 16, 3))
+        color_a = evaluate_sh_colors(coeffs, np.array([[0.0, 0.0, 1.0]]))
+        color_b = evaluate_sh_colors(coeffs, np.array([[1.0, 0.0, 0.0]]))
+        assert not np.allclose(color_a, color_b)
+
+    def test_colors_are_clamped_non_negative(self):
+        coeffs = np.full((1, 1, 3), -10.0)
+        colors = evaluate_sh_colors(coeffs, np.array([[0.0, 0.0, 1.0]]))
+        assert np.all(colors >= 0.0)
+
+    def test_degree_override_uses_leading_coefficients_only(self):
+        rng = np.random.default_rng(2)
+        coeffs = rng.normal(scale=0.2, size=(3, 16, 3))
+        directions = rng.normal(size=(3, 3))
+        full_deg0 = evaluate_sh_colors(coeffs[:, :1, :], directions)
+        truncated = evaluate_sh_colors(coeffs, directions, degree=0)
+        assert np.allclose(full_deg0, truncated)
+
+    def test_degree_above_available_rejected(self):
+        coeffs = np.zeros((1, 4, 3))
+        with pytest.raises(ValueError, match="degree"):
+            evaluate_sh_colors(coeffs, np.array([[0.0, 0.0, 1.0]]), degree=3)
+
+    def test_zero_direction_handled(self):
+        coeffs = np.zeros((1, 4, 3))
+        coeffs[:, 0, :] = rgb_to_sh_dc(np.array([[0.5, 0.5, 0.5]]))
+        colors = evaluate_sh_colors(coeffs, np.zeros((1, 3)))
+        assert np.all(np.isfinite(colors))
+
+    def test_bad_coefficient_shape_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_sh_colors(np.zeros((1, 4)), np.array([[0.0, 0.0, 1.0]]))
+
+    @given(
+        rgb=st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=3,
+            max_size=3,
+        ),
+        direction=unit_vectors,
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_dc_encoding_reproduces_any_rgb_for_any_view(self, rgb, direction):
+        rgb = np.array([rgb])
+        coeffs = rgb_to_sh_dc(rgb)[:, np.newaxis, :]
+        colors = evaluate_sh_colors(coeffs, np.array([direction]))
+        assert colors == pytest.approx(rgb, abs=1e-9)

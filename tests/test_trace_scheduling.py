@@ -1,0 +1,85 @@
+"""Tests for trace-driven (per-frame workload) scheduling."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.nerf360 import iter_scenes
+from repro.profiling.workload import WorkloadStatistics
+from repro.scheduling.collaborative import schedule_frames
+from repro.scheduling.trace import schedule_trace, schedule_workload_trace
+
+
+class TestScheduleTrace:
+    def test_uniform_trace_matches_steady_state_schedule(self):
+        frames = [(0.04, 0.015)] * 20
+        trace = schedule_trace(frames)
+        reference = schedule_frames(0.04, 0.015, num_frames=20)
+        assert trace.makespan == pytest.approx(reference.makespan)
+        assert trace.mean_fps == pytest.approx(reference.throughput_fps)
+
+    def test_latency_statistics(self):
+        trace = schedule_trace([(0.02, 0.01), (0.02, 0.01)])
+        assert trace.mean_latency == pytest.approx(0.03)
+        assert trace.worst_latency >= trace.mean_latency - 1e-12
+
+    def test_deadline_miss_rate(self):
+        trace = schedule_trace([(0.02, 0.01), (0.05, 0.02)])
+        assert trace.deadline_miss_rate(0.04) == pytest.approx(0.5)
+        assert trace.deadline_miss_rate(1.0) == 0.0
+        with pytest.raises(ValueError):
+            trace.deadline_miss_rate(0.0)
+
+    def test_serial_trace_is_never_faster(self):
+        frames = [(0.03, 0.02), (0.01, 0.04), (0.05, 0.01)]
+        pipelined = schedule_trace(frames, pipelined=True)
+        serial = schedule_trace(frames, pipelined=False)
+        assert serial.makespan >= pipelined.makespan - 1e-12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            schedule_trace([])
+        with pytest.raises(ValueError):
+            schedule_trace([(-0.01, 0.01)])
+
+    @given(
+        durations=st.lists(
+            st.tuples(
+                st.floats(min_value=1e-4, max_value=0.2, allow_nan=False),
+                st.floats(min_value=1e-4, max_value=0.2, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_resource_exclusivity_holds_for_any_trace(self, durations):
+        trace = schedule_trace(durations)
+        timelines = trace.timelines
+        for previous, current in zip(timelines, timelines[1:]):
+            assert current.stage3_start >= previous.stage3_end - 1e-12
+            assert current.stage3_start >= current.stage12_end - 1e-12
+        # Latency of every frame is at least the sum of its own stage times.
+        for (stage12, stage3), timeline in zip(durations, timelines):
+            assert timeline.latency >= stage12 + stage3 - 1e-12
+
+
+class TestWorkloadTrace:
+    def test_nerf360_trace_reaches_interactive_rates(self):
+        workloads = [
+            WorkloadStatistics.from_descriptor(descriptor, "original")
+            for descriptor in iter_scenes()
+        ]
+        trace = schedule_workload_trace(workloads)
+        assert trace.num_frames == 7
+        assert 15.0 <= trace.mean_fps <= 40.0
+        assert trace.worst_latency < 0.1
+
+    def test_pipelining_helps_on_real_workloads(self):
+        workloads = [
+            WorkloadStatistics.from_descriptor(descriptor, "original")
+            for descriptor in iter_scenes()
+        ]
+        pipelined = schedule_workload_trace(workloads, pipelined=True)
+        serial = schedule_workload_trace(workloads, pipelined=False)
+        assert pipelined.mean_fps > serial.mean_fps

@@ -1,0 +1,185 @@
+"""Tests for the triangle-mesh rendering substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gaussians.camera import Camera, look_at
+from repro.gaussians.tiles import TileGrid
+from repro.triangles.mesh import TriangleMesh, make_cube, make_plane
+from repro.triangles.raster import barycentric_weights, rasterize_mesh
+from repro.triangles.transform import transform_to_screen
+
+
+@pytest.fixture
+def front_camera():
+    pose = look_at(eye=(0.0, 0.0, -3.0), target=(0.0, 0.0, 0.0))
+    return Camera(width=64, height=64, fx=60.0, fy=60.0, world_to_camera=pose)
+
+
+class TestTriangleMesh:
+    def test_plane_has_two_triangles(self):
+        plane = make_plane()
+        assert plane.num_triangles == 2
+        assert plane.num_vertices == 4
+
+    def test_cube_has_twelve_triangles(self):
+        cube = make_cube()
+        assert cube.num_triangles == 12
+
+    def test_face_indices_validated(self):
+        with pytest.raises(ValueError, match="out of range"):
+            TriangleMesh(vertices=np.zeros((3, 3)), faces=np.array([[0, 1, 5]]))
+
+    def test_default_colors_and_uvs(self):
+        mesh = TriangleMesh(
+            vertices=np.array([[0, 0, 0], [1, 0, 0], [0, 1, 0]], dtype=float),
+            faces=np.array([[0, 1, 2]]),
+        )
+        assert np.allclose(mesh.vertex_colors, 1.0)
+        assert np.allclose(mesh.uvs, 0.0)
+
+    def test_color_shape_validated(self):
+        with pytest.raises(ValueError, match="vertex_colors"):
+            TriangleMesh(
+                vertices=np.zeros((3, 3)),
+                faces=np.array([[0, 1, 2]]),
+                vertex_colors=np.zeros((2, 3)),
+            )
+
+    def test_transformed_applies_translation(self):
+        plane = make_plane()
+        matrix = np.eye(4)
+        matrix[:3, 3] = [1.0, 2.0, 3.0]
+        moved = plane.transformed(matrix)
+        assert np.allclose(moved.vertices, plane.vertices + [1.0, 2.0, 3.0])
+
+    def test_triangle_vertices_gather(self):
+        plane = make_plane()
+        gathered = plane.triangle_vertices()
+        assert gathered.shape == (2, 3, 3)
+
+
+class TestTransform:
+    def test_visible_plane_survives(self, front_camera):
+        plane = make_plane(size=1.0)
+        screen = transform_to_screen(plane, front_camera)
+        assert len(screen) == 2
+        assert screen.raster_inputs().shape == (2, 9)
+
+    def test_triangles_behind_camera_dropped(self):
+        camera = Camera(width=64, height=64, fx=60.0, fy=60.0)
+        plane = make_plane(size=1.0)  # at z=0, behind the near plane
+        screen = transform_to_screen(plane, camera)
+        assert len(screen) == 0
+
+    def test_screen_coordinates_centered(self, front_camera):
+        plane = make_plane(size=0.5)
+        screen = transform_to_screen(plane, front_camera)
+        xy = screen.vertices[:, :, :2].reshape(-1, 2)
+        assert np.all(np.abs(xy[:, 0] - front_camera.cx) < 10)
+        assert np.all(np.abs(xy[:, 1] - front_camera.cy) < 10)
+
+
+class TestBarycentricWeights:
+    def test_vertices_have_unit_weight(self):
+        triangle = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]])
+        weights, inside = barycentric_weights(triangle.copy(), triangle)
+        assert np.allclose(weights, np.eye(3), atol=1e-12)
+        assert inside.all()
+
+    def test_outside_point_detected(self):
+        triangle = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]])
+        weights, inside = barycentric_weights(np.array([[20.0, 20.0]]), triangle)
+        assert not inside[0]
+
+    def test_degenerate_triangle_covers_nothing(self):
+        triangle = np.array([[0.0, 0.0], [5.0, 5.0], [10.0, 10.0]])
+        _, inside = barycentric_weights(np.array([[5.0, 5.0]]), triangle)
+        assert not inside.any()
+
+    @given(
+        px=st.floats(min_value=0.1, max_value=9.8, allow_nan=False),
+        py=st.floats(min_value=0.1, max_value=9.8, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_weights_sum_to_one(self, px, py):
+        triangle = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]])
+        weights, _ = barycentric_weights(np.array([[px, py]]), triangle)
+        assert weights.sum() == pytest.approx(1.0, abs=1e-9)
+
+
+class TestRasterizeMesh:
+    def test_plane_covers_center_of_image(self, front_camera):
+        plane = make_plane(size=1.0, color=(0.2, 0.7, 0.4))
+        screen = transform_to_screen(plane, front_camera)
+        grid = TileGrid(width=front_camera.width, height=front_camera.height)
+        frame = rasterize_mesh(screen, grid)
+        center = frame.color[front_camera.height // 2, front_camera.width // 2]
+        assert center == pytest.approx([0.2, 0.7, 0.4], abs=1e-6)
+        assert np.isfinite(frame.depth[front_camera.height // 2, front_camera.width // 2])
+
+    def test_background_outside_geometry(self, front_camera):
+        plane = make_plane(size=0.5)
+        screen = transform_to_screen(plane, front_camera)
+        grid = TileGrid(width=64, height=64)
+        frame = rasterize_mesh(screen, grid, background=(0.1, 0.1, 0.1))
+        assert frame.color[0, 0] == pytest.approx([0.1, 0.1, 0.1])
+        assert np.isinf(frame.depth[0, 0])
+
+    def test_min_depth_visibility(self, front_camera):
+        # Two overlapping planes at different depths: the nearer (red) wins.
+        near = make_plane(size=1.0, color=(1.0, 0.0, 0.0))
+        matrix_near = np.eye(4)
+        matrix_near[2, 3] = -0.5  # closer to the camera at z=-3
+        near = near.transformed(matrix_near)
+        far = make_plane(size=1.0, color=(0.0, 1.0, 0.0))
+
+        merged = TriangleMesh(
+            vertices=np.concatenate([near.vertices, far.vertices]),
+            faces=np.concatenate([near.faces, far.faces + len(near.vertices)]),
+            vertex_colors=np.concatenate([near.vertex_colors, far.vertex_colors]),
+            uvs=np.concatenate([near.uvs, far.uvs]),
+        )
+        screen = transform_to_screen(merged, front_camera)
+        grid = TileGrid(width=64, height=64)
+        frame = rasterize_mesh(screen, grid)
+        center = frame.color[32, 32]
+        assert center == pytest.approx([1.0, 0.0, 0.0], abs=1e-6)
+
+    def test_submission_order_does_not_matter(self, front_camera):
+        cube = make_cube(size=1.0)
+        screen = transform_to_screen(cube, front_camera)
+        grid = TileGrid(width=64, height=64)
+        forward = rasterize_mesh(screen, grid)
+
+        reversed_screen = type(screen)(
+            vertices=screen.vertices[::-1].copy(),
+            colors=screen.colors[::-1].copy(),
+            uvs=screen.uvs[::-1].copy(),
+        )
+        backward = rasterize_mesh(reversed_screen, grid)
+        assert np.allclose(forward.color, backward.color)
+        assert np.allclose(forward.depth, backward.depth)
+
+    def test_stats_counters(self, front_camera):
+        plane = make_plane(size=1.0)
+        screen = transform_to_screen(plane, front_camera)
+        grid = TileGrid(width=64, height=64)
+        frame = rasterize_mesh(screen, grid)
+        assert frame.stats.triangles_processed == 2
+        assert frame.stats.fragments_covered > 0
+        assert frame.stats.fragments_covered <= frame.stats.fragments_evaluated
+        assert 0.0 < frame.stats.coverage_fraction <= 1.0
+
+    def test_uv_interpolation_spans_unit_square(self, front_camera):
+        plane = make_plane(size=1.0)
+        screen = transform_to_screen(plane, front_camera)
+        grid = TileGrid(width=64, height=64)
+        frame = rasterize_mesh(screen, grid)
+        covered = np.isfinite(frame.depth)
+        uvs = frame.uv[covered]
+        assert uvs.min() >= -1e-6
+        assert uvs.max() <= 1.0 + 1e-6
+        assert uvs.max() > 0.8

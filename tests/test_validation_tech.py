@@ -1,0 +1,75 @@
+"""Tests for the hardware validation harness and technology-node scaling."""
+
+import pytest
+
+from repro.hardware.config import PROTOTYPE_CONFIG
+from repro.hardware.fp import Precision
+from repro.hardware.tech import (
+    TechnologyNode,
+    known_nodes,
+    scale_area_mm2,
+    scale_energy_j,
+)
+from repro.hardware.validation import validate_against_software
+
+
+class TestValidationHarness:
+    @pytest.fixture(scope="class")
+    def fp32_report(self):
+        return validate_against_software(PROTOTYPE_CONFIG, num_gaussian_scenes=2)
+
+    def test_fp32_prototype_matches_software(self, fp32_report):
+        assert fp32_report.all_passed
+        assert fp32_report.worst_max_error < 1e-4
+
+    def test_report_contains_both_primitive_types(self, fp32_report):
+        assert len(fp32_report.by_type("gaussian")) == 2
+        assert len(fp32_report.by_type("triangle")) == 2
+
+    def test_fp16_is_lossier_but_still_high_quality(self, fp32_report):
+        fp16_report = validate_against_software(
+            PROTOTYPE_CONFIG.with_precision(Precision.FP16), num_gaussian_scenes=1
+        )
+        assert fp16_report.worst_max_error > fp32_report.worst_max_error
+        # Reduced precision still renders at > 40 dB PSNR.
+        assert fp16_report.worst_psnr_db > 40.0
+
+    def test_empty_report_properties(self):
+        from repro.hardware.validation import ValidationReport
+
+        empty = ValidationReport(config=PROTOTYPE_CONFIG)
+        assert not empty.all_passed
+
+
+class TestTechnologyScaling:
+    def test_known_nodes_include_prototype_and_soc_nodes(self):
+        nodes = known_nodes()
+        assert "28nm" in nodes
+        assert "8nm" in nodes
+
+    def test_identity_scaling(self):
+        assert scale_area_mm2(2.0, "28nm", "28nm") == pytest.approx(2.0)
+        assert scale_energy_j(1.0, "28nm", "28nm") == pytest.approx(1.0)
+
+    def test_newer_node_shrinks_area_and_energy(self):
+        assert scale_area_mm2(1.0, "28nm", "8nm") < 1.0
+        assert scale_energy_j(1.0, "28nm", "8nm") < 1.0
+
+    def test_scaling_is_invertible(self):
+        forward = scale_area_mm2(3.0, "28nm", "5nm")
+        back = scale_area_mm2(forward, "5nm", "28nm")
+        assert back == pytest.approx(3.0)
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(KeyError):
+            scale_area_mm2(1.0, "28nm", "3nm")
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError):
+            scale_area_mm2(-1.0)
+        with pytest.raises(ValueError):
+            scale_energy_j(-1.0)
+
+    def test_node_validation(self):
+        with pytest.raises(ValueError):
+            TechnologyNode(name="bad", relative_density=0, relative_dynamic_energy=1)
