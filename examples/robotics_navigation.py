@@ -7,8 +7,10 @@ the robot's current viewpoint every control cycle.  This example simulates a
 small differential-drive robot following a circular path through a synthetic
 Gaussian scene:
 
-* at every waypoint the scene is rendered with the functional pipeline to
-  obtain that viewpoint's workload statistics,
+* the whole trajectory is rendered as one multi-camera batch
+  (``render_batch``, vectorized backend) so scene-level preprocessing is
+  shared across waypoints and each viewpoint's workload statistics are
+  measured in a single pass,
 * the Jetson Orin NX baseline model and the GauRast model are evaluated on
   that workload, giving per-viewpoint frame times,
 * the trajectory summary reports whether each platform sustains the robot's
@@ -28,7 +30,7 @@ import numpy as np
 from repro.baselines.jetson import JetsonOrinNX
 from repro.experiments.common import fmt, format_table
 from repro.gaussians.camera import Camera, look_at
-from repro.gaussians.pipeline import render
+from repro.gaussians.pipeline import render_batch
 from repro.gaussians.synthetic import SyntheticConfig, make_gaussian_cloud
 from repro.gaussians.scene import GaussianScene
 from repro.hardware.config import SCALED_CONFIG
@@ -92,12 +94,13 @@ def main() -> None:
     baseline = JetsonOrinNX()
     rasterizer = ScaledGauRast(SCALED_CONFIG)
 
+    waypoints = [waypoint_camera(config, index) for index in range(NUM_WAYPOINTS)]
+    batch = render_batch(scene, cameras=waypoints, backend="vectorized")
+
     rows = []
     baseline_fps_values = []
     gaurast_fps_values = []
-    for index in range(NUM_WAYPOINTS):
-        camera = waypoint_camera(config, index)
-        result = render(scene, camera=camera)
+    for index, result in enumerate(batch.results):
         workload = scaled_workload(result, f"waypoint-{index}")
 
         stage_times = baseline.stage_times(workload)
@@ -123,6 +126,11 @@ def main() -> None:
             ["Waypoint", "Sort keys", "Baseline FPS", "GauRast FPS", "Meets target"],
             rows,
         )
+    )
+    print(
+        f"\nbatched render: {batch.fragments_evaluated} fragments evaluated "
+        f"across {len(batch)} waypoints "
+        f"({batch.mean_fragments_per_camera:.0f} per viewpoint)"
     )
     mean_baseline = float(np.mean(baseline_fps_values))
     mean_gaurast = float(np.mean(gaurast_fps_values))

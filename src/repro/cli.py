@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
 import numpy as np
@@ -32,6 +33,7 @@ from repro.experiments.common import fmt, format_table
 from repro.gaussians.io import save_image_ppm, save_scene
 from repro.gaussians.metrics import compare_images
 from repro.gaussians.pipeline import render as functional_render
+from repro.gaussians.rasterize import BACKENDS, DEFAULT_BACKEND
 from repro.gaussians.synthetic import SyntheticConfig, make_synthetic_scene
 from repro.hardware.config import GauRastConfig, PROTOTYPE_CONFIG
 from repro.hardware.fp import Precision
@@ -65,6 +67,11 @@ def build_parser() -> argparse.ArgumentParser:
     render.add_argument("--height", type=int, default=120)
     render.add_argument("--seed", type=int, default=0)
     render.add_argument("--instances", type=int, default=4)
+    render.add_argument(
+        "--backend", choices=BACKENDS, default=DEFAULT_BACKEND,
+        help="functional rasterization backend (bit-identical; "
+             "'vectorized' is faster)",
+    )
     render.add_argument("--output", default=None, help="write the image as PPM")
     render.add_argument("--save-scene", default=None, help="write the scene as .npz")
 
@@ -128,13 +135,17 @@ def _command_render(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     scene = make_synthetic_scene(config, name="cli-scene")
-    software = functional_render(scene)
+    start = time.perf_counter()
+    software = functional_render(scene, backend=args.backend)
+    software_seconds = time.perf_counter() - start
 
     system = GauRastSystem(config=GauRastConfig(num_instances=args.instances))
-    image, report = system.render(scene)
+    image, report = system.render(scene, backend=args.backend)
     comparison = compare_images(software.image, image)
     print(f"rendered {scene.num_gaussians} Gaussians at {args.width}x{args.height} "
           f"in {report.frame_cycles} cycles on {args.instances} instances")
+    print(f"functional render ({args.backend} backend): "
+          f"{software_seconds * 1e3:.1f} ms")
     print(f"validation vs software renderer: max |err| = "
           f"{comparison.max_abs_error:.2e}, SSIM = {comparison.ssim:.4f}")
 

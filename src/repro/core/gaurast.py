@@ -30,6 +30,7 @@ from repro.core.metrics import (
 )
 from repro.datasets.nerf360 import SceneDescriptor, get_scene, iter_scenes
 from repro.gaussians.pipeline import render as functional_render
+from repro.gaussians.pipeline import render_batch as functional_render_batch
 from repro.gaussians.scene import GaussianScene
 from repro.hardware.config import GauRastConfig, SCALED_CONFIG
 from repro.hardware.multi import FrameReport, ScaledGauRast
@@ -144,16 +145,52 @@ class GauRastSystem:
         scene: GaussianScene,
         camera=None,
         background=(0.0, 0.0, 0.0),
+        backend: Optional[str] = None,
     ) -> tuple[np.ndarray, FrameReport]:
         """Render a scene with the hardware model executing Stage 3.
 
         Stages 1-2 run through the functional pipeline (they stay on the
         CUDA cores in the real system); Stage 3 runs on the cycle-level
-        multi-instance simulator.
+        multi-instance simulator.  ``backend`` selects the functional
+        rasterization backend used for the software stages (see
+        :func:`repro.gaussians.pipeline.render`); it does not affect the
+        hardware simulation.
         """
         result = functional_render(
-            scene, camera=camera, background=background, collect_stats=False
+            scene,
+            camera=camera,
+            background=background,
+            collect_stats=False,
+            backend=backend,
         )
         return self.rasterizer.simulate_frame(
             result.projected, result.binning, background=background
         )
+
+    def render_batch(
+        self,
+        scene: GaussianScene,
+        cameras=None,
+        background=(0.0, 0.0, 0.0),
+        backend: Optional[str] = None,
+    ) -> List[tuple[np.ndarray, FrameReport]]:
+        """Render several viewpoints through the hardware model.
+
+        The software stages run through the batched functional pipeline
+        (:func:`repro.gaussians.pipeline.render_batch`, sharing scene-level
+        preprocessing), then each frame's tile lists are replayed on the
+        cycle-level simulator.
+        """
+        batch = functional_render_batch(
+            scene,
+            cameras=cameras,
+            background=background,
+            collect_stats=False,
+            backend=backend,
+        )
+        return [
+            self.rasterizer.simulate_frame(
+                result.projected, result.binning, background=background
+            )
+            for result in batch.results
+        ]

@@ -22,14 +22,22 @@ from repro.gaussians.gaussian import GaussianCloud, ProjectedGaussians
 from repro.gaussians.io import load_scene, save_scene
 from repro.gaussians.metrics import compare_images, psnr, ssim
 from repro.gaussians.minisplat import prune_to_budget
-from repro.gaussians.pipeline import RenderResult, render
-from repro.gaussians.rasterize import rasterize_tiles
+from repro.gaussians.pipeline import (
+    BatchRenderResult,
+    RenderResult,
+    render,
+    render_batch,
+)
+from repro.gaussians.rasterize import BACKENDS, DEFAULT_BACKEND, rasterize_tiles
 from repro.gaussians.scene import GaussianScene
 from repro.gaussians.sorting import TileBinning, bin_and_sort
 from repro.gaussians.synthetic import make_synthetic_scene
 
 __all__ = [
+    "BACKENDS",
+    "BatchRenderResult",
     "Camera",
+    "DEFAULT_BACKEND",
     "GaussianCloud",
     "GaussianScene",
     "ProjectedGaussians",
@@ -44,6 +52,7 @@ __all__ = [
     "psnr",
     "rasterize_tiles",
     "render",
+    "render_batch",
     "save_scene",
     "ssim",
 ]

@@ -145,6 +145,7 @@ def preprocess(
     cloud: GaussianCloud,
     camera: Camera,
     sh_degree: int | None = None,
+    covariances: np.ndarray | None = None,
 ) -> tuple[ProjectedGaussians, PreprocessStats]:
     """Run the full preprocessing stage.
 
@@ -156,6 +157,12 @@ def preprocess(
         Rendering viewpoint.
     sh_degree:
         Optional SH degree override (defaults to the cloud's full degree).
+    covariances:
+        Optional precomputed ``(N, 3, 3)`` world-space covariances of the
+        *full* cloud (``cloud.covariances()``).  They are camera-independent,
+        so multi-camera callers (:func:`repro.gaussians.pipeline.render_batch`)
+        compute them once per scene and pass them here to skip the
+        per-viewpoint recomputation.
 
     Returns
     -------
@@ -178,7 +185,16 @@ def preprocess(
     cam_points = camera.to_camera_space(visible.positions)
     means2d, depths = camera.project(visible.positions)
 
-    cov2d = project_covariances(camera, cam_points, visible.covariances())
+    if covariances is None:
+        world_cov = visible.covariances()
+    else:
+        if len(covariances) != num_input:
+            raise ValueError(
+                f"covariances has {len(covariances)} entries but the cloud "
+                f"has {num_input}"
+            )
+        world_cov = covariances[kept_indices]
+    cov2d = project_covariances(camera, cam_points, world_cov)
     conics, valid = invert_cov2d(cov2d)
     radii = screen_radius(cov2d)
 

@@ -15,12 +15,26 @@ and accumulates the colour
 following the exact clamping and early-termination rules of the reference
 CUDA rasterizer so the output can be compared bit-for-bit (in FP64) against
 the hardware datapath model.
+
+Two interchangeable backends implement the per-tile loop:
+
+* ``"scalar"`` — the original per-Gaussian Python loop
+  (:func:`rasterize_tile`), kept as the readable golden model;
+* ``"vectorized"`` — a chunked engine (:func:`rasterize_tile_vectorized`)
+  that evaluates blocks of Gaussians against all tile pixels at once and
+  folds them with sequential ``cumprod``/``add.reduce`` passes, producing
+  **bit-identical** FP64 images and identical :class:`RasterStats` while
+  amortising the NumPy dispatch overhead over whole blocks.
+
+Both backends are dispatched through :func:`rasterize_tiles` via its
+``backend`` parameter; ``tests/test_vectorized_equivalence.py`` pins the
+bit-for-bit equivalence.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Iterable, Optional
 
 import numpy as np
 
@@ -39,6 +53,20 @@ ALPHA_MAX = 0.99
 #: A pixel stops accumulating once its transmittance falls below this value
 #: (early termination).
 TRANSMITTANCE_EPSILON = 1e-4
+
+#: Rasterization backends selectable through ``rasterize_tiles`` and the
+#: rendering pipeline.
+BACKENDS = ("scalar", "vectorized")
+
+#: Backend used when callers do not ask for a specific one.  The vectorized
+#: engine is bit-identical to the scalar loop, so it is the safe default.
+DEFAULT_BACKEND = "vectorized"
+
+#: Number of Gaussians the vectorized backend evaluates per block.  Between
+#: blocks the engine re-checks the whole-tile early-termination condition,
+#: so the block size bounds how much work can be wasted past the point where
+#: every pixel has saturated.
+DEFAULT_CHUNK_SIZE = 64
 
 
 @dataclass
@@ -62,6 +90,24 @@ class RasterStats:
         if self.fragments_evaluated == 0:
             return 0.0
         return self.fragments_blended / self.fragments_evaluated
+
+    @classmethod
+    def merged(cls, stats: Iterable["RasterStats"]) -> "RasterStats":
+        """Aggregate counters over several frames (e.g. a camera batch).
+
+        ``per_tile_gaussians`` is summed per tile id, so for a multi-camera
+        batch over one grid it reports the total work each tile received.
+        """
+        total = cls()
+        for item in stats:
+            total.fragments_evaluated += item.fragments_evaluated
+            total.fragments_blended += item.fragments_blended
+            total.tiles_processed += item.tiles_processed
+            for tile_id, count in item.per_tile_gaussians.items():
+                total.per_tile_gaussians[tile_id] = (
+                    total.per_tile_gaussians.get(tile_id, 0) + count
+                )
+        return total
 
 
 def gaussian_alpha(
@@ -93,6 +139,46 @@ def gaussian_alpha(
     a, b, c = conic
     power = -0.5 * (a * delta[:, 0] ** 2 + c * delta[:, 1] ** 2) - b * delta[:, 0] * delta[:, 1]
     alpha = np.where(power > 0.0, 0.0, opacity * np.exp(power))
+    return np.minimum(alpha, ALPHA_MAX)
+
+
+def gaussian_alpha_block(
+    pixel_centers: np.ndarray,
+    means: np.ndarray,
+    conics: np.ndarray,
+    opacities: np.ndarray,
+) -> np.ndarray:
+    """Evaluate the clamped densities of a block of splats at many pixels.
+
+    Vectorized counterpart of :func:`gaussian_alpha`: row ``i`` of the result
+    is bit-identical to ``gaussian_alpha(pixel_centers, means[i], conics[i],
+    opacities[i])`` because every element goes through the same sequence of
+    FP64 operations, merely batched.
+
+    Parameters
+    ----------
+    pixel_centers:
+        ``(P, 2)`` pixel-centre coordinates.
+    means:
+        ``(B, 2)`` screen-space Gaussian centres.
+    conics:
+        ``(B, 3)`` packed inverse covariances ``(a, b, c)``.
+    opacities:
+        ``(B,)`` opacities.
+
+    Returns
+    -------
+    ``(B, P)`` alpha matrix, clamped like :func:`gaussian_alpha`.
+    """
+    # Keep dx/dy contiguous (B, P) arrays rather than slicing a (B, P, 2)
+    # delta tensor: the arithmetic below then runs on unit-stride memory.
+    dx = pixel_centers[:, 0] - means[:, 0][:, np.newaxis]
+    dy = pixel_centers[:, 1] - means[:, 1][:, np.newaxis]
+    a = conics[:, 0][:, np.newaxis]
+    b = conics[:, 1][:, np.newaxis]
+    c = conics[:, 2][:, np.newaxis]
+    power = -0.5 * (a * dx ** 2 + c * dy ** 2) - b * dx * dy
+    alpha = np.where(power > 0.0, 0.0, opacities[:, np.newaxis] * np.exp(power))
     return np.minimum(alpha, ALPHA_MAX)
 
 
@@ -157,13 +243,178 @@ def rasterize_tile(
     return color
 
 
+def rasterize_tile_vectorized(
+    projected: ProjectedGaussians,
+    gaussian_indices: np.ndarray,
+    pixel_centers: np.ndarray,
+    background: np.ndarray,
+    stats: Optional[RasterStats] = None,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> np.ndarray:
+    """Rasterize one tile with the chunked vectorized engine.
+
+    Produces output and statistics **bit-identical** to
+    :func:`rasterize_tile` while replacing the per-Gaussian Python loop with
+    block-level NumPy passes.  Three observations make exact equivalence
+    possible:
+
+    * the alpha matrix of a block is elementwise, so batching it changes
+      nothing (:func:`gaussian_alpha_block`);
+    * the per-pixel transmittance recurrence is a left-to-right product of
+      ``(1 - alpha)`` factors (``1.0`` where the alpha threshold skips the
+      update), and ``np.cumprod`` along an axis performs exactly that
+      sequential fold.  Seeding the fold with the entry transmittance keeps
+      the association identical to the scalar loop.  Because transmittance
+      is non-increasing, the ``T >= epsilon`` activity test computed from
+      the unfrozen cumulative product agrees with the scalar path, and the
+      frozen exit value is recovered as the product at the first
+      sub-epsilon step;
+    * colour accumulation is a left-to-right sum of ``T * alpha * colour``
+      terms, and ``np.add.reduce`` along the leading axis performs the same
+      sequential fold (terms with zero weight are exact no-ops, matching
+      the scalar loop's skip of non-contributing Gaussians).
+
+    Between blocks the engine narrows the pixel set to the columns whose
+    transmittance is still above epsilon: terminated pixels can never
+    contribute again (transmittance is non-increasing and frozen), so
+    dropping their columns is exact and recovers the per-pixel
+    early-termination savings of the scalar loop at block granularity.
+    Extra in-block evaluations past the scalar loop's break point contribute
+    zero to both the image and the counters.
+    """
+    num_pixels = len(pixel_centers)
+    color = np.zeros((num_pixels, 3), dtype=np.float64)
+    transmittance = np.ones(num_pixels, dtype=np.float64)
+    gaussian_indices = np.asarray(gaussian_indices, dtype=np.int64)
+    num_gaussians = len(gaussian_indices)
+
+    if num_gaussians == 0:
+        color += transmittance[:, np.newaxis] * background
+        if stats is not None:
+            stats.tiles_processed += 1
+        return color
+
+    # Gather the tile's Gaussian parameters once; chunks below take views.
+    means = projected.means[gaussian_indices]
+    conics = projected.cov_inverses[gaussian_indices]
+    opacities = projected.opacities[gaussian_indices]
+    colors = projected.colors[gaussian_indices]
+
+    # Columns (pixels) still accumulating; whole arrays while all are live.
+    live = np.arange(num_pixels)
+    live_pixels = pixel_centers
+    live_transmittance = transmittance
+    live_color = color
+
+    blended = 0
+    evaluated = 0
+    for start in range(0, num_gaussians, chunk_size):
+        still_live = live_transmittance >= TRANSMITTANCE_EPSILON
+        num_live = int(np.count_nonzero(still_live))
+        if num_live == 0:
+            break
+        if num_live < len(live):
+            # Freeze the dropped columns' state before narrowing.
+            transmittance[live] = live_transmittance
+            color[live] = live_color
+            live = live[still_live]
+            live_pixels = pixel_centers[live]
+            live_transmittance = live_transmittance[still_live]
+            live_color = live_color[still_live]
+
+        stop = min(start + chunk_size, num_gaussians)
+        block_size = stop - start
+
+        alpha = gaussian_alpha_block(
+            live_pixels,
+            means[start:stop],
+            conics[start:stop],
+            opacities[start:stop],
+        )
+        passes = alpha >= ALPHA_SKIP_THRESHOLD
+
+        # Transmittance before each Gaussian of the block: sequential
+        # cumulative product seeded with the entry transmittance (row 0).
+        trail = np.empty((block_size + 1, num_live), dtype=np.float64)
+        trail[0] = live_transmittance
+        trail[1:] = np.where(passes, 1.0 - alpha, 1.0)
+        np.cumprod(trail, axis=0, out=trail)
+        before = trail[:-1]
+
+        active = before >= TRANSMITTANCE_EPSILON
+        contributes = np.logical_and(active, passes)
+        evaluated += int(np.count_nonzero(active))
+        blended += int(np.count_nonzero(contributes))
+
+        # Sequential colour fold seeded with the entry colour (row 0).
+        # Rows whose weights are all exactly zero add nothing (the scalar
+        # loop skips them outright), so only contributing rows are folded.
+        weight = np.multiply(before, alpha, out=alpha)
+        weight *= contributes
+        rows = np.nonzero(contributes.any(axis=1))[0]
+        if len(rows):
+            terms = np.empty((len(rows) + 1, num_live, 3), dtype=np.float64)
+            terms[0] = live_color
+            np.multiply(
+                weight[rows, :, np.newaxis],
+                colors[start:stop][rows][:, np.newaxis, :],
+                out=terms[1:],
+            )
+            live_color = np.add.reduce(terms, axis=0)
+
+        # Exit transmittance: the cumulative product freezes at the first
+        # sub-epsilon step (early-terminated pixels stop updating).  The
+        # product is non-increasing down each column, so only columns whose
+        # final value fell below epsilon need the search.
+        last = trail[-1]
+        cols = np.nonzero(last < TRANSMITTANCE_EPSILON)[0]
+        if len(cols):
+            first_below = (trail[:, cols] < TRANSMITTANCE_EPSILON).argmax(axis=0)
+            last[cols] = trail[first_below, cols]
+        live_transmittance = last
+
+    transmittance[live] = live_transmittance
+    color[live] = live_color
+    color += transmittance[:, np.newaxis] * background
+    if stats is not None:
+        stats.fragments_evaluated += evaluated
+        stats.fragments_blended += blended
+        stats.tiles_processed += 1
+    return color
+
+
+_TILE_BACKENDS = {
+    "scalar": rasterize_tile,
+    "vectorized": rasterize_tile_vectorized,
+}
+
+
+def resolve_backend(backend: Optional[str]) -> str:
+    """Validate a backend name, mapping ``None`` to the default."""
+    if backend is None:
+        return DEFAULT_BACKEND
+    if backend not in _TILE_BACKENDS:
+        raise ValueError(
+            f"unknown rasterization backend {backend!r}; expected one of {BACKENDS}"
+        )
+    return backend
+
+
 def rasterize_tiles(
     projected: ProjectedGaussians,
     binning: TileBinning,
     background=(0.0, 0.0, 0.0),
     collect_stats: bool = True,
+    backend: Optional[str] = None,
 ) -> tuple[np.ndarray, RasterStats]:
     """Rasterize a full frame tile by tile.
+
+    Parameters
+    ----------
+    backend:
+        ``"scalar"`` for the per-Gaussian loop, ``"vectorized"`` for the
+        chunked block engine (the default).  Both produce bit-identical
+        FP64 images and identical statistics.
 
     Returns
     -------
@@ -172,6 +423,7 @@ def rasterize_tiles(
     stats:
         Workload counters (empty if ``collect_stats`` is ``False``).
     """
+    rasterize_fn = _TILE_BACKENDS[resolve_backend(backend)]
     grid = binning.grid
     background = np.asarray(background, dtype=np.float64).reshape(3)
     image = np.zeros((grid.height, grid.width, 3), dtype=np.float64)
@@ -184,7 +436,7 @@ def rasterize_tiles(
         x0, y0, x1, y1 = grid.tile_pixel_bounds(tile_id)
         pixel_centers = grid.tile_pixel_centers(tile_id)
         tile_stats = stats if collect_stats else None
-        tile_color = rasterize_tile(
+        tile_color = rasterize_fn(
             projected, gaussian_indices, pixel_centers, background, tile_stats
         )
         image[y0:y1, x0:x1] = tile_color.reshape(y1 - y0, x1 - x0, 3)
@@ -197,12 +449,24 @@ def rasterize_reference(
     projected: ProjectedGaussians,
     grid: TileGrid,
     background=(0.0, 0.0, 0.0),
+    stats: Optional[RasterStats] = None,
 ) -> np.ndarray:
     """Rasterize without tiling, evaluating every Gaussian at every pixel.
 
     This is an intentionally simple O(pixels x Gaussians) implementation used
     only in tests to validate that tile binning does not change the image
     (beyond the conservative-radius cut-off).
+
+    When ``stats`` is given, ``fragments_evaluated`` counts the Gaussian-pixel
+    pairs whose pixel had not yet early-terminated (mirroring the per-pixel
+    activity gate of the tiled path) and ``fragments_blended`` counts the
+    pairs that passed the alpha threshold, so workload counters can be
+    compared against :func:`rasterize_tiles`.  ``tiles_processed`` and
+    ``per_tile_gaussians`` are left untouched: this path has no tiling, so
+    tile-level counters are meaningless here.  Note that, unlike the tiled
+    path, every Gaussian is considered at every pixel — there is no
+    conservative-radius cut-off and no whole-tile break — so evaluated
+    counts are an upper bound on (not a copy of) the tiled workload.
     """
     background = np.asarray(background, dtype=np.float64).reshape(3)
     xs = np.arange(grid.width) + 0.5
@@ -213,6 +477,8 @@ def rasterize_reference(
     order = np.argsort(projected.depths, kind="stable")
     color = np.zeros((len(pixels), 3), dtype=np.float64)
     transmittance = np.ones(len(pixels), dtype=np.float64)
+    evaluated = 0
+    blended = 0
     for index in order:
         alpha = gaussian_alpha(
             pixels,
@@ -222,10 +488,15 @@ def rasterize_reference(
         )
         active = transmittance >= TRANSMITTANCE_EPSILON
         contributes = active & (alpha >= ALPHA_SKIP_THRESHOLD)
+        evaluated += int(active.sum())
+        blended += int(contributes.sum())
         weight = transmittance * alpha * contributes
         color += weight[:, np.newaxis] * projected.colors[index]
         transmittance = np.where(
             contributes, transmittance * (1.0 - alpha), transmittance
         )
     color += transmittance[:, np.newaxis] * background
+    if stats is not None:
+        stats.fragments_evaluated += evaluated
+        stats.fragments_blended += blended
     return color.reshape(grid.height, grid.width, 3)

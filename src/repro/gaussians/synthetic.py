@@ -152,18 +152,65 @@ def default_camera(config: SyntheticConfig) -> Camera:
     )
 
 
+def orbit_cameras(
+    config: SyntheticConfig,
+    count: int,
+    radius_factor: float = 0.4,
+) -> list:
+    """Cameras on a circular orbit around the synthetic scene volume.
+
+    Produces ``count`` evaluation viewpoints that all look at the centre of
+    the scene volume from evenly spaced azimuths — the multi-camera workload
+    batched rendering (:func:`repro.gaussians.pipeline.render_batch`) is
+    designed for.  Azimuth zero is skipped: that pose coincides with
+    :func:`default_camera`, and callers combining both (notably
+    :func:`make_synthetic_scene`) must not render the same viewpoint twice.
+    """
+    if count <= 0:
+        raise ValueError("count must be positive")
+    cameras = []
+    radius = config.extent * radius_factor
+    target = (0.0, 0.0, config.extent * 1.5)
+    focal = 0.9 * config.width
+    for index in range(count):
+        angle = 2.0 * np.pi * (index + 1) / (count + 1)
+        eye = (
+            radius * np.sin(angle),
+            -config.extent * 0.15,
+            radius * (1.0 - np.cos(angle)) * 0.5,
+        )
+        cameras.append(
+            Camera(
+                width=config.width,
+                height=config.height,
+                fx=focal,
+                fy=focal,
+                world_to_camera=look_at(eye=eye, target=target),
+            )
+        )
+    return cameras
+
+
 def make_synthetic_scene(
     config: Optional[SyntheticConfig] = None,
     name: str = "synthetic",
     descriptor_name: Optional[str] = None,
+    num_cameras: int = 1,
 ) -> GaussianScene:
-    """Build a complete synthetic scene (cloud plus camera)."""
+    """Build a complete synthetic scene (cloud plus cameras).
+
+    ``num_cameras`` > 1 adds orbit viewpoints (:func:`orbit_cameras`) after
+    the canonical default camera, giving batched rendering a multi-camera
+    workload out of the box.
+    """
     config = config or SyntheticConfig()
     cloud = make_gaussian_cloud(config)
-    camera = default_camera(config)
+    cameras = [default_camera(config)]
+    if num_cameras > 1:
+        cameras.extend(orbit_cameras(config, num_cameras - 1))
     return GaussianScene(
         cloud=cloud,
-        cameras=[camera],
+        cameras=cameras,
         name=name,
         descriptor_name=descriptor_name,
     )
@@ -173,6 +220,7 @@ def scene_from_descriptor(
     descriptor_or_name,
     scale: float = 0.001,
     seed: int = 0,
+    num_cameras: int = 1,
 ) -> GaussianScene:
     """Synthesise a scaled-down stand-in for a NeRF-360 scene.
 
@@ -188,6 +236,9 @@ def scene_from_descriptor(
         character of the full-size scene.
     seed:
         RNG seed.
+    num_cameras:
+        Number of evaluation viewpoints (orbit cameras beyond the first);
+        see :func:`make_synthetic_scene`.
     """
     descriptor: SceneDescriptor
     if isinstance(descriptor_or_name, SceneDescriptor):
@@ -213,4 +264,5 @@ def scene_from_descriptor(
         config,
         name=f"{descriptor.name}-synthetic",
         descriptor_name=descriptor.name,
+        num_cameras=num_cameras,
     )

@@ -1,0 +1,131 @@
+"""Property-based invariants of the rasterization backends.
+
+Hypothesis-driven checks that hold for *both* the scalar and the vectorized
+backend regardless of input:
+
+* alpha values stay inside ``[0, ALPHA_MAX]``,
+* per-pixel transmittance is monotonically non-increasing as more Gaussians
+  are composited (probed through the background term: rendering the same
+  tile under a white and a black background isolates ``T_final``),
+* an empty tile leaves the background fully visible.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gaussians.gaussian import ProjectedGaussians
+from repro.gaussians.rasterize import (
+    ALPHA_MAX,
+    gaussian_alpha,
+    gaussian_alpha_block,
+    rasterize_tile,
+    rasterize_tile_vectorized,
+)
+from repro.gaussians.tiles import TileGrid
+
+BACKEND_FUNCTIONS = {
+    "scalar": rasterize_tile,
+    "vectorized": rasterize_tile_vectorized,
+}
+
+
+def _random_projected(rng, count, extent=16.0):
+    sigma = rng.uniform(0.8, 4.0, size=count)
+    conic = 1.0 / (sigma * sigma)
+    return ProjectedGaussians(
+        means=rng.uniform(-2.0, extent + 2.0, size=(count, 2)),
+        cov_inverses=np.stack([conic, np.zeros(count), conic], axis=1),
+        depths=rng.uniform(0.5, 20.0, size=count),
+        colors=rng.uniform(0.0, 1.0, size=(count, 3)),
+        opacities=rng.uniform(0.05, 1.0, size=count),
+        radii=np.ceil(3.0 * sigma),
+        source_indices=np.arange(count),
+    )
+
+
+def _final_transmittance(backend_fn, projected, indices, pixels):
+    """Recover per-pixel exit transmittance from the background term.
+
+    ``C = sum_i T_i alpha_i c_i + T_final * background``, so rendering with a
+    white and a black background differs by exactly ``T_final`` per channel.
+    """
+    white = backend_fn(projected, indices, pixels, np.ones(3))
+    black = backend_fn(projected, indices, pixels, np.zeros(3))
+    diff = white - black
+    # All three channels carry the same transmittance.
+    assert np.allclose(diff[:, 0], diff[:, 1], atol=1e-12)
+    assert np.allclose(diff[:, 0], diff[:, 2], atol=1e-12)
+    return diff[:, 0]
+
+
+class TestAlphaBounds:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        count=st.integers(min_value=1, max_value=24),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_alpha_block_within_bounds(self, seed, count):
+        rng = np.random.default_rng(seed)
+        projected = _random_projected(rng, count)
+        pixels = TileGrid(width=16, height=16).tile_pixel_centers(0)
+        alpha = gaussian_alpha_block(
+            pixels, projected.means, projected.cov_inverses, projected.opacities
+        )
+        assert np.all(alpha >= 0.0)
+        assert np.all(alpha <= ALPHA_MAX)
+
+    @given(
+        opacity=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        sigma=st.floats(min_value=0.3, max_value=8.0, allow_nan=False),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_scalar_alpha_within_bounds(self, opacity, sigma):
+        pixels = TileGrid(width=16, height=16).tile_pixel_centers(0)
+        conic = 1.0 / (sigma * sigma)
+        alpha = gaussian_alpha(
+            pixels, np.array([8.0, 8.0]), np.array([conic, 0.0, conic]), opacity
+        )
+        assert np.all(alpha >= 0.0)
+        assert np.all(alpha <= ALPHA_MAX)
+
+
+class TestTransmittanceInvariants:
+    @pytest.mark.parametrize("backend", sorted(BACKEND_FUNCTIONS))
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_transmittance_monotonically_non_increasing(self, backend, seed):
+        rng = np.random.default_rng(seed)
+        count = int(rng.integers(1, 20))
+        projected = _random_projected(rng, count)
+        grid = TileGrid(width=16, height=16)
+        pixels = grid.tile_pixel_centers(0)
+        indices = np.argsort(projected.depths, kind="stable")
+        backend_fn = BACKEND_FUNCTIONS[backend]
+
+        previous = np.ones(len(pixels))
+        for prefix in range(count + 1):
+            current = _final_transmittance(
+                backend_fn, projected, indices[:prefix], pixels
+            )
+            assert np.all(current >= -1e-15)
+            assert np.all(current <= 1.0 + 1e-12)
+            assert np.all(current <= previous + 1e-12)
+            previous = current
+
+    @pytest.mark.parametrize("backend", sorted(BACKEND_FUNCTIONS))
+    def test_background_fully_visible_on_empty_tile(self, backend):
+        rng = np.random.default_rng(0)
+        projected = _random_projected(rng, 5)
+        grid = TileGrid(width=16, height=16)
+        pixels = grid.tile_pixel_centers(0)
+        background = np.array([0.9, 0.4, 0.2])
+        color = BACKEND_FUNCTIONS[backend](
+            projected, np.empty(0, dtype=np.int64), pixels, background
+        )
+        assert np.array_equal(color, np.tile(background, (len(pixels), 1)))
+        transmittance = _final_transmittance(
+            BACKEND_FUNCTIONS[backend], projected, np.empty(0, dtype=np.int64), pixels
+        )
+        assert np.array_equal(transmittance, np.ones(len(pixels)))

@@ -195,3 +195,72 @@ class TestRasterizeFrame:
         image = synthetic_render.image
         assert np.all(np.isfinite(image))
         assert np.all(image >= 0.0)
+
+
+def _seeded_projected(seed=5, count=12):
+    rng = np.random.default_rng(seed)
+    splats = [
+        _splat(
+            rng.uniform(4, 44, size=2),
+            rng.uniform(0, 1, size=3),
+            opacity=rng.uniform(0.3, 0.95),
+            depth=rng.uniform(1, 10),
+            sigma=rng.uniform(1.0, 3.0),
+            radius=12.0,
+        )
+        for _ in range(count)
+    ]
+    return _projected_from(splats)
+
+
+class TestReferenceStats:
+    def test_reference_counts_evaluated_and_blended(self):
+        projected = _seeded_projected()
+        grid = TileGrid(width=48, height=48)
+        stats = RasterStats()
+        rasterize_reference(projected, grid, stats=stats)
+        assert stats.fragments_evaluated > 0
+        assert 0 < stats.fragments_blended <= stats.fragments_evaluated
+        # The reference path has no tiling, so tile counters stay untouched.
+        assert stats.tiles_processed == 0
+        assert stats.per_tile_gaussians == {}
+
+    def test_reference_blended_matches_tiled_path(self):
+        # The conservative binning radius keeps every above-threshold
+        # contribution inside its tile, so the *blended* workload of the
+        # untiled reference equals the tiled path's exactly.  The
+        # *evaluated* workload differs by construction: the reference
+        # considers every Gaussian at every pixel.
+        projected = _seeded_projected()
+        grid = TileGrid(width=48, height=48)
+        binning = bin_and_sort(projected, grid)
+        ref_stats = RasterStats()
+        rasterize_reference(projected, grid, stats=ref_stats)
+        _, tiled_stats = rasterize_tiles(projected, binning)
+        assert ref_stats.fragments_blended == tiled_stats.fragments_blended
+        assert ref_stats.fragments_evaluated >= tiled_stats.fragments_evaluated
+
+    def test_reference_stats_optional(self):
+        # Stats collection must not change the image.
+        projected = _seeded_projected()
+        grid = TileGrid(width=48, height=48)
+        stats = RasterStats()
+        with_stats = rasterize_reference(projected, grid, stats=stats)
+        without = rasterize_reference(projected, grid)
+        assert np.array_equal(with_stats, without)
+
+
+class TestBlendFractionRegression:
+    def test_blend_fraction_pinned_on_fixed_seed(self, synthetic_render):
+        # Regression pin for the synthetic fixture scene (400 Gaussians,
+        # 96x64, seed 7).  A change here means the rasterization workload
+        # model shifted — intentional changes must re-pin the value.
+        stats = synthetic_render.raster_stats
+        assert stats.blend_fraction == pytest.approx(0.1615210553, rel=1e-4)
+
+    def test_reference_blend_fraction_pinned_on_fixed_seed(self):
+        projected = _seeded_projected()
+        grid = TileGrid(width=48, height=48)
+        stats = RasterStats()
+        rasterize_reference(projected, grid, stats=stats)
+        assert stats.blend_fraction == pytest.approx(0.0473813657, rel=1e-4)
