@@ -14,6 +14,9 @@ Package map
 ``repro.gaussians``
     Functional 3DGS pipeline (preprocess, sort, rasterize) and synthetic
     scene generation.
+``repro.serving``
+    Multi-scene ``SceneStore`` and the ``RenderService`` request-serving
+    layer (flattened storage, batching, LRU memoization).
 ``repro.triangles``
     Triangle mesh rendering substrate.
 ``repro.hardware``

@@ -1,6 +1,6 @@
 """Command-line interface of the GauRast reproduction.
 
-Four subcommands cover the library's main flows::
+Six subcommands cover the library's main flows::
 
     python -m repro evaluate [--algorithm original|optimized] [--scene NAME]
         Paper-scale baseline-vs-GauRast comparison (Table III / Figs. 10-11).
@@ -9,6 +9,14 @@ Four subcommands cover the library's main flows::
                            [--output image.ppm] [--save-scene scene.npz]
         Synthesise a scene, render it with the cycle-level hardware model,
         validate against the software renderer and optionally write outputs.
+
+    python -m repro store [--scenes N] [--output store.npz] [--info PATH]
+        Build a multi-scene SceneStore archive of synthetic scenes, or
+        inspect an existing archive.
+
+    python -m repro serve [--requests N] [--store PATH] [--naive] [--hardware]
+        Serve a synthetic render-request trace through the RenderService and
+        report throughput, latency and cache statistics.
 
     python -m repro experiments [NAME ...]
         Run the experiment harness (all experiments by default).
@@ -38,6 +46,7 @@ from repro.gaussians.synthetic import SyntheticConfig, make_synthetic_scene
 from repro.hardware.config import GauRastConfig, PROTOTYPE_CONFIG
 from repro.hardware.fp import Precision
 from repro.hardware.validation import validate_against_software
+from repro.serving import RenderService, SceneStore, synthetic_request_trace
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -74,6 +83,45 @@ def build_parser() -> argparse.ArgumentParser:
     )
     render.add_argument("--output", default=None, help="write the image as PPM")
     render.add_argument("--save-scene", default=None, help="write the scene as .npz")
+
+    store = subparsers.add_parser(
+        "store", help="build or inspect a multi-scene SceneStore archive"
+    )
+    store.add_argument("--scenes", type=int, default=3,
+                       help="number of synthetic scenes to build")
+    store.add_argument("--gaussians", type=int, default=600,
+                       help="Gaussians per scene")
+    store.add_argument("--width", type=int, default=120)
+    store.add_argument("--height", type=int, default=90)
+    store.add_argument("--cameras", type=int, default=4,
+                       help="viewpoints per scene")
+    store.add_argument("--seed", type=int, default=0)
+    store.add_argument("--output", default=None,
+                       help="write the store as a .npz archive")
+    store.add_argument("--info", default=None, metavar="PATH",
+                       help="inspect an existing archive instead of building")
+
+    serve = subparsers.add_parser(
+        "serve", help="serve a render-request trace against a scene store"
+    )
+    serve.add_argument("--store", default=None, metavar="PATH",
+                       help="load scenes from an archive (default: synthesise)")
+    serve.add_argument("--scenes", type=int, default=3)
+    serve.add_argument("--gaussians", type=int, default=600)
+    serve.add_argument("--width", type=int, default=120)
+    serve.add_argument("--height", type=int, default=90)
+    serve.add_argument("--cameras", type=int, default=4)
+    serve.add_argument("--requests", type=int, default=60,
+                       help="length of the synthetic request trace")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--backend", choices=BACKENDS, default=DEFAULT_BACKEND,
+        help="functional rasterization backend",
+    )
+    serve.add_argument("--naive", action="store_true",
+                       help="also time the naive per-request render loop")
+    serve.add_argument("--hardware", action="store_true",
+                       help="replay the trace on the cycle-level hardware model")
 
     experiments = subparsers.add_parser(
         "experiments", help="run the table/figure experiment harness"
@@ -158,6 +206,103 @@ def _command_render(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_store(args: argparse.Namespace) -> SceneStore:
+    """Synthesise a store of small multi-camera scenes from CLI arguments."""
+    store = SceneStore()
+    for index in range(args.scenes):
+        config = SyntheticConfig(
+            num_gaussians=args.gaussians, width=args.width, height=args.height,
+            seed=args.seed + index,
+        )
+        store.add_scene(
+            make_synthetic_scene(
+                config, name=f"scene-{index}", num_cameras=args.cameras
+            )
+        )
+    return store
+
+
+def _print_store_summary(store: SceneStore) -> None:
+    headers = ["#", "Scene", "Gaussians", "Cameras", "SH coeffs", "KiB"]
+    rows = []
+    for index in range(len(store)):
+        scene = store.get_scene(index)
+        rows.append(
+            (
+                str(index),
+                scene.name,
+                str(scene.num_gaussians),
+                str(len(scene.cameras)),
+                str(scene.cloud.sh_coeffs.shape[1]),
+                fmt(store.scene_nbytes(index) / 1024.0, 1),
+            )
+        )
+    print(format_table(headers, rows))
+    print(f"total: {len(store)} scenes, {store.num_gaussians} Gaussians, "
+          f"{store.num_cameras} cameras, {store.nbytes / 1024.0:.1f} KiB payload")
+
+
+def _command_store(args: argparse.Namespace) -> int:
+    if args.info:
+        store = SceneStore.load(args.info)
+        print(f"archive: {args.info}")
+    else:
+        store = _build_store(args)
+    _print_store_summary(store)
+    if args.output:
+        path = store.save(args.output)
+        print(f"store written to {path}")
+    return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    if args.store:
+        store = SceneStore.load(args.store)
+    else:
+        store = _build_store(args)
+    trace = synthetic_request_trace(store, args.requests, seed=args.seed)
+    print(f"serving {len(trace)} requests over {len(store)} scenes "
+          f"({store.num_cameras} viewpoints, backend={args.backend})")
+
+    service = RenderService(store, backend=args.backend)
+    report = service.serve(trace)
+    print(f"served {report.num_requests} requests in "
+          f"{report.wall_seconds * 1e3:.1f} ms: "
+          f"{report.requests_per_second:.1f} req/s, "
+          f"{report.num_batches} batches, "
+          f"{report.num_cache_hits} requests answered by memoization")
+    print(f"latency: mean {report.mean_latency_s * 1e3:.1f} ms, "
+          f"p95 {report.latency_percentile(95) * 1e3:.1f} ms, "
+          f"max {report.max_latency_s * 1e3:.1f} ms")
+    frame_cache = report.frame_cache
+    print(f"frame cache: {frame_cache.entries} entries, "
+          f"{frame_cache.current_bytes / 1024.0:.0f} KiB, "
+          f"LRU hit rate across serve calls {frame_cache.hit_rate:.0%}")
+
+    if args.naive:
+        start = time.perf_counter()
+        for request in trace:
+            functional_render(
+                store.get_scene(request.scene_id), camera=request.camera,
+                backend=args.backend, collect_stats=True,
+            )
+        naive_seconds = time.perf_counter() - start
+        naive_rps = len(trace) / naive_seconds
+        print(f"naive per-request loop: {naive_seconds * 1e3:.1f} ms "
+              f"({naive_rps:.1f} req/s); serving layer is "
+              f"{report.requests_per_second / naive_rps:.1f}x faster")
+
+    if args.hardware:
+        system = GauRastSystem()
+        evaluation = system.evaluate_trace(store, trace, backend=args.backend)
+        print(f"hardware model: {evaluation.served_cycles} cycles served "
+              f"vs {evaluation.naive_cycles} naive "
+              f"({evaluation.hardware_speedup:.1f}x fewer cycles, "
+              f"{evaluation.requests_per_second:.0f} req/s at "
+              f"{system.config.clock_hz / 1e6:.0f} MHz)")
+    return 0
+
+
 def _command_experiments(args: argparse.Namespace) -> int:
     from repro.experiments.__main__ import main as run_experiments
 
@@ -187,6 +332,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "evaluate": _command_evaluate,
         "render": _command_render,
+        "store": _command_store,
+        "serve": _command_serve,
         "experiments": _command_experiments,
         "validate": _command_validate,
     }

@@ -13,7 +13,7 @@ GauRast hardware model and the CUDA-collaborative schedule.  Typical usage::
     image, report = system.render(scene)                    # cycle-level sim
 """
 
-from repro.core.gaurast import GauRastSystem
+from repro.core.gaurast import GauRastSystem, TraceEvaluation
 from repro.core.metrics import (
     EndToEndComparison,
     RasterizationComparison,
@@ -27,6 +27,7 @@ __all__ = [
     "GauRastSystem",
     "RasterizationComparison",
     "SceneEvaluation",
+    "TraceEvaluation",
     "arithmetic_mean",
     "geometric_mean",
 ]

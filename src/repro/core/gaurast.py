@@ -37,6 +37,62 @@ from repro.hardware.multi import FrameReport, ScaledGauRast
 from repro.hardware.power import EnergyModel
 from repro.profiling.workload import WorkloadStatistics
 from repro.scheduling.collaborative import schedule_frames
+from repro.serving.service import RenderRequest, RenderService, ServiceReport
+from repro.serving.store import SceneStore
+
+
+@dataclass
+class TraceEvaluation:
+    """Hardware-model evaluation of a served render-request trace.
+
+    The functional serving layer answers repeated (scene, camera) requests
+    from its frame cache; the hardware model mirrors that: each *distinct*
+    frame of the trace is simulated once at cycle level, and cache hits cost
+    no rasterizer cycles.  ``naive_cycles`` is the counterfactual where every
+    request pays its frame's full cost.
+
+    Attributes
+    ----------
+    service:
+        The functional serving report (images, latencies, cache stats).
+    frame_reports:
+        Cycle-level report of each distinct frame, aligned with
+        ``service.responses`` via ``request_cycles``.
+    request_cycles:
+        Per-request hardware cycles of the frame answering it.
+    config:
+        Hardware configuration the trace was evaluated against.
+    """
+
+    service: ServiceReport
+    frame_reports: List[FrameReport]
+    request_cycles: List[int]
+    config: GauRastConfig
+
+    @property
+    def served_cycles(self) -> int:
+        """Total rasterizer cycles with frame memoization (distinct frames)."""
+        return sum(report.frame_cycles for report in self.frame_reports)
+
+    @property
+    def naive_cycles(self) -> int:
+        """Total rasterizer cycles if every request were rendered afresh."""
+        return sum(self.request_cycles)
+
+    @property
+    def hardware_speedup(self) -> float:
+        """Cycle-count ratio of the naive loop over the serving layer."""
+        if self.served_cycles == 0:
+            return 1.0
+        return self.naive_cycles / self.served_cycles
+
+    @property
+    def requests_per_second(self) -> float:
+        """Requests the hardware sustains per second at the configured clock."""
+        if self.served_cycles == 0:
+            return float("inf")
+        seconds = self.served_cycles / self.config.clock_hz
+        return self.service.num_requests / seconds
 
 
 @dataclass
@@ -194,3 +250,58 @@ class GauRastSystem:
             )
             for result in batch.results
         ]
+
+    # ------------------------------------------------------------------ #
+    # Request-trace serving through the hardware model
+    # ------------------------------------------------------------------ #
+    def evaluate_trace(
+        self,
+        store: SceneStore,
+        requests: List[RenderRequest],
+        backend: Optional[str] = None,
+        background=(0.0, 0.0, 0.0),
+        service: Optional[RenderService] = None,
+    ) -> TraceEvaluation:
+        """Serve a request trace and replay it on the hardware model.
+
+        The trace is first served functionally through a
+        :class:`~repro.serving.service.RenderService` (same-scene batching
+        plus covariance/frame memoization), then every distinct frame's tile
+        lists are replayed on the cycle-level multi-instance simulator.  The
+        result quantifies what the serving layer buys in *hardware* terms:
+        total rasterizer cycles with and without frame memoization, and the
+        request throughput the accelerator sustains at its clock.
+
+        When an existing ``service`` is passed, its own backend and
+        background govern both the functional serve and the hardware replay;
+        the ``backend``/``background`` arguments apply only when the service
+        is created here.
+        """
+        if service is None:
+            service = RenderService(
+                store, backend=backend, background=background,
+                collect_stats=False,
+            )
+        # The replay must composite over the same background the served
+        # frames used, or the two image sets would disagree.
+        background = service.background
+        report = service.serve(requests)
+
+        distinct: Dict[tuple, FrameReport] = {}
+        request_cycles: List[int] = []
+        for response in report.responses:
+            frame = distinct.get(response.frame_key)
+            if frame is None:
+                _, frame = self.rasterizer.simulate_frame(
+                    response.result.projected,
+                    response.result.binning,
+                    background=background,
+                )
+                distinct[response.frame_key] = frame
+            request_cycles.append(frame.frame_cycles)
+        return TraceEvaluation(
+            service=report,
+            frame_reports=list(distinct.values()),
+            request_cycles=request_cycles,
+            config=self.config,
+        )

@@ -76,8 +76,19 @@ class Camera:
 
     @property
     def tan_half_fov(self) -> Tuple[float, float]:
-        """Tangents of the half field-of-view along x and y."""
-        return self.width / (2.0 * self.fx), self.height / (2.0 * self.fy)
+        """Tangents of the half field-of-view along x and y.
+
+        The frustum of a camera with an off-centre principal point is
+        asymmetric: along x it spans ``[-cx / fx, (width - cx) / fx]`` in
+        ``x/z``.  Frustum culling and the EWA Jacobian clamp use a symmetric
+        bound, so the wider of the two sides (``max(cx, width - cx) / fx``)
+        is returned; anything narrower would cull Gaussians that project
+        inside the image.  For a centred principal point this reduces to the
+        familiar ``width / (2 fx)``.
+        """
+        tan_x = max(self.cx, self.width - self.cx) / self.fx
+        tan_y = max(self.cy, self.height - self.cy) / self.fy
+        return tan_x, tan_y
 
     # ------------------------------------------------------------------ #
     # Transformations
@@ -109,9 +120,15 @@ class Camera:
         return np.stack([px, py], axis=1), depths
 
     def projection_matrix(self) -> np.ndarray:
-        """Return the OpenGL-style 4x4 perspective projection matrix."""
+        """Return the OpenGL-style 4x4 perspective projection matrix.
+
+        Uses the symmetric on-axis frustum ``width / (2 fx)`` — the matrix
+        describes the image extent, not the conservative culling bound of
+        :attr:`tan_half_fov` (the two coincide for centred principal points).
+        """
         znear, zfar = self.znear, self.zfar
-        tan_x, tan_y = self.tan_half_fov
+        tan_x = self.width / (2.0 * self.fx)
+        tan_y = self.height / (2.0 * self.fy)
         top = tan_y * znear
         right = tan_x * znear
 

@@ -4,6 +4,11 @@ Trained 3DGS checkpoints are normally stored as PLY files; this reproduction
 uses NumPy ``.npz`` archives with an equivalent field layout so scenes built
 by the synthetic generator (or pruned by the Mini-Splatting pass) can be
 persisted, shared between the examples and reloaded without re-generation.
+
+Since the multi-scene :class:`~repro.serving.store.SceneStore` landed, the
+store owns the archive format (version 2) and :func:`save_scene` /
+:func:`load_scene` are thin single-scene wrappers around it.  Archives in
+the original one-scene layout (format version 1) are still readable.
 """
 
 from __future__ import annotations
@@ -18,74 +23,34 @@ from repro.gaussians.camera import Camera
 from repro.gaussians.gaussian import GaussianCloud
 from repro.gaussians.scene import GaussianScene
 
-#: Format identifier stored inside every archive.
+#: Format identifier of the legacy one-scene archives this module can still
+#: read.  New archives are written by the scene store (format version 2).
 FORMAT_VERSION = 1
 
 
 def save_scene(scene: GaussianScene, path: Union[str, Path]) -> Path:
-    """Serialise a scene (cloud plus cameras) to an ``.npz`` archive.
+    """Serialise a scene (cloud plus cameras, which may be empty) to ``.npz``.
 
+    Thin wrapper over a one-scene :class:`~repro.serving.store.SceneStore`.
     Returns the path written (with the ``.npz`` suffix enforced).
     """
-    path = Path(path)
-    if path.suffix != ".npz":
-        path = path.with_suffix(".npz")
+    from repro.serving.store import SceneStore
 
-    cameras = [
-        {
-            "width": camera.width,
-            "height": camera.height,
-            "fx": camera.fx,
-            "fy": camera.fy,
-            "cx": camera.cx,
-            "cy": camera.cy,
-            "znear": camera.znear,
-            "zfar": camera.zfar,
-        }
-        for camera in scene.cameras
-    ]
-    metadata = {
-        "format_version": FORMAT_VERSION,
-        "name": scene.name,
-        "descriptor_name": scene.descriptor_name,
-        "cameras": cameras,
-    }
-    poses = np.stack([camera.world_to_camera for camera in scene.cameras])
+    store = SceneStore()
+    store.add_scene(scene)
+    return store.save(path)
 
-    cloud = scene.cloud
-    np.savez_compressed(
-        path,
-        metadata=json.dumps(metadata),
-        positions=cloud.positions,
-        scales=cloud.scales,
-        rotations=cloud.rotations,
-        opacities=cloud.opacities,
-        sh_coeffs=cloud.sh_coeffs,
-        camera_poses=poses,
+
+def _load_scene_v1(archive, metadata: dict) -> GaussianScene:
+    """Read an already-open archive in the original one-scene layout."""
+    cloud = GaussianCloud(
+        positions=archive["positions"],
+        scales=archive["scales"],
+        rotations=archive["rotations"],
+        opacities=archive["opacities"],
+        sh_coeffs=archive["sh_coeffs"],
     )
-    return path
-
-
-def load_scene(path: Union[str, Path]) -> GaussianScene:
-    """Load a scene previously written by :func:`save_scene`."""
-    path = Path(path)
-    if not path.exists():
-        raise FileNotFoundError(f"scene archive not found: {path}")
-
-    with np.load(path, allow_pickle=False) as archive:
-        metadata = json.loads(str(archive["metadata"]))
-        if metadata.get("format_version") != FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported scene format version {metadata.get('format_version')!r}"
-            )
-        cloud = GaussianCloud(
-            positions=archive["positions"],
-            scales=archive["scales"],
-            rotations=archive["rotations"],
-            opacities=archive["opacities"],
-            sh_coeffs=archive["sh_coeffs"],
-        )
-        poses = archive["camera_poses"]
+    poses = archive["camera_poses"]
 
     cameras = []
     for camera_info, pose in zip(metadata["cameras"], poses):
@@ -108,6 +73,35 @@ def load_scene(path: Union[str, Path]) -> GaussianScene:
         name=metadata.get("name", "scene"),
         descriptor_name=metadata.get("descriptor_name"),
     )
+
+
+def load_scene(path: Union[str, Path]) -> GaussianScene:
+    """Load a scene previously written by :func:`save_scene`.
+
+    Reads both store archives (format version 2, which must contain exactly
+    one scene — use :meth:`~repro.serving.store.SceneStore.load` for
+    multi-scene archives) and legacy one-scene archives (format version 1).
+    """
+    from repro.serving.store import SceneStore, STORE_FORMAT_VERSION
+
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"scene archive not found: {path}")
+
+    with np.load(path, allow_pickle=False) as archive:
+        metadata = json.loads(str(archive["metadata"]))
+        version = metadata.get("format_version")
+        if version == FORMAT_VERSION:
+            return _load_scene_v1(archive, metadata)
+        if version == STORE_FORMAT_VERSION:
+            store = SceneStore.from_archive(archive, metadata)
+            if len(store) != 1:
+                raise ValueError(
+                    f"archive holds {len(store)} scenes; use SceneStore.load "
+                    "for multi-scene archives"
+                )
+            return store.get_scene(0)
+    raise ValueError(f"unsupported scene format version {version!r}")
 
 
 def save_image_ppm(image: np.ndarray, path: Union[str, Path]) -> Path:

@@ -185,6 +185,7 @@ def render_batch(
     sh_degree: Optional[int] = None,
     collect_stats: bool = True,
     backend: Optional[str] = None,
+    covariances: Optional[np.ndarray] = None,
 ) -> BatchRenderResult:
     """Render one scene from many viewpoints in a single call.
 
@@ -202,6 +203,12 @@ def render_batch(
         Viewpoints to render; defaults to all of the scene's cameras.
     background, sh_degree, collect_stats, backend:
         As in :func:`render`, applied to every frame.
+    covariances:
+        Optional precomputed world-space covariances of the full cloud.
+        When omitted they are computed here, once for the whole batch; a
+        caller that renders many batches of the same scene (e.g. the
+        :class:`~repro.serving.service.RenderService` covariance cache) can
+        compute them once per *scene* instead and pass them in.
 
     Returns
     -------
@@ -214,7 +221,8 @@ def render_batch(
     if not cameras:
         raise ValueError("render_batch needs at least one camera")
 
-    covariances = scene.cloud.covariances() if len(scene.cloud) else None
+    if covariances is None and len(scene.cloud):
+        covariances = scene.cloud.covariances()
     results = [
         render(
             scene,

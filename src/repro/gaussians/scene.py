@@ -27,6 +27,9 @@ class GaussianScene:
         The Gaussian scene representation.
     cameras:
         Evaluation viewpoints.  Rendering APIs default to the first camera.
+        May be empty for scenes that only carry a cloud (e.g. entries of a
+        :class:`~repro.serving.store.SceneStore` rendered against request
+        cameras); rendering such a scene requires an explicit camera.
     name:
         Human-readable scene name.
     descriptor_name:
@@ -39,10 +42,6 @@ class GaussianScene:
     name: str = "scene"
     descriptor_name: Optional[str] = None
 
-    def __post_init__(self) -> None:
-        if not self.cameras:
-            raise ValueError("a scene needs at least one camera")
-
     @property
     def num_gaussians(self) -> int:
         """Number of Gaussians in the scene."""
@@ -51,6 +50,10 @@ class GaussianScene:
     @property
     def default_camera(self) -> Camera:
         """The first (primary) evaluation camera."""
+        if not self.cameras:
+            raise ValueError(
+                f"scene {self.name!r} has no cameras; pass a camera explicitly"
+            )
         return self.cameras[0]
 
     def with_cloud(self, cloud: GaussianCloud) -> "GaussianScene":

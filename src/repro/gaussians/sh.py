@@ -117,6 +117,11 @@ def evaluate_sh_colors(
     if coeffs.ndim != 3 or coeffs.shape[2] != 3:
         raise ValueError("sh_coeffs must have shape (N, K, 3)")
     available = coeffs.shape[1]
+    if available not in COEFFS_PER_DEGREE.values():
+        raise ValueError(
+            "sh_coeffs must have 1, 4, 9 or 16 coefficients per Gaussian "
+            f"(got {available})"
+        )
     implied_degree = int(np.sqrt(available)) - 1
     if degree is None:
         degree = implied_degree

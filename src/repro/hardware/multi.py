@@ -72,9 +72,14 @@ class FrameReport:
 
     @property
     def load_imbalance(self) -> float:
-        """Ratio of the slowest instance's cycles to the mean."""
-        cycles = [r.cycles for r in self.instance_reports if r.cycles > 0]
-        if not cycles:
+        """Ratio of the slowest instance's cycles to the mean.
+
+        Every instance that participated in the frame counts, idle ones
+        included: an assignment that starves some instances of work is the
+        canonical imbalanced case, not a perfectly balanced one.
+        """
+        cycles = [r.cycles for r in self.instance_reports]
+        if not cycles or max(cycles) == 0:
             return 1.0
         return max(cycles) / (sum(cycles) / len(cycles))
 

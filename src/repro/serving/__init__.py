@@ -1,0 +1,41 @@
+"""Multi-scene hosting and render-request serving.
+
+This package is the production-serving layer of the reproduction: a
+:class:`~repro.serving.store.SceneStore` packs many Gaussian scenes into
+flattened arrays (O(1) zero-copy scene views, amortized growth, one ``.npz``
+archive for the whole fleet of scenes), and a
+:class:`~repro.serving.service.RenderService` serves a stream of
+``(scene_id, camera, backend)`` render requests against the store with
+same-scene batching and byte-budgeted LRU memoization of per-scene
+covariances and rendered frames.
+
+Typical usage::
+
+    from repro.serving import RenderService, SceneStore, synthetic_request_trace
+
+    store = SceneStore([scene_a, scene_b, scene_c])
+    service = RenderService(store)
+    report = service.serve(synthetic_request_trace(store, 60))
+    print(report.requests_per_second, report.mean_latency_s)
+"""
+
+from repro.serving.cache import CacheStats, LRUByteCache
+from repro.serving.service import (
+    RenderRequest,
+    RenderResponse,
+    RenderService,
+    ServiceReport,
+    synthetic_request_trace,
+)
+from repro.serving.store import SceneStore
+
+__all__ = [
+    "CacheStats",
+    "LRUByteCache",
+    "RenderRequest",
+    "RenderResponse",
+    "RenderService",
+    "SceneStore",
+    "ServiceReport",
+    "synthetic_request_trace",
+]

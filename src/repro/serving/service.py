@@ -1,0 +1,355 @@
+"""Render-request serving layer over a :class:`~repro.serving.store.SceneStore`.
+
+A :class:`RenderService` accepts a stream of ``(scene_id, camera, backend)``
+requests against the scenes of a store and serves them faster than a naive
+per-request :func:`repro.gaussians.pipeline.render` loop by exploiting the
+structure of real traffic:
+
+* **Same-scene batching** — requests for one scene are grouped into a single
+  :func:`~repro.gaussians.pipeline.render_batch` call, so the scene-level
+  (camera-independent) half of preprocessing is paid once per group.
+* **Covariance memoization** — the world-space covariances of each scene are
+  kept in a byte-budgeted LRU cache across calls, so even a lone request for
+  a recently served scene skips the quaternion/covariance arithmetic.
+* **Frame memoization** — heavy multi-user traffic concentrates on popular
+  viewpoints; fully rendered frames are kept in a second byte-budgeted LRU
+  cache keyed by (scene, camera, render settings) and repeated requests are
+  answered without touching the pipeline at all.  The rasterization backends
+  are bit-identical in FP64 (see PR 1's golden-equivalence suite), so a
+  cached frame is *exactly* the image a fresh render would produce.
+
+Every response records its latency (time from ``serve()`` accepting the
+stream to the request's completion), and the report aggregates throughput
+and cache statistics.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.gaussians.camera import Camera
+from repro.gaussians.pipeline import RenderResult, render_batch
+from repro.gaussians.rasterize import BACKENDS, DEFAULT_BACKEND
+from repro.serving.cache import CacheStats, LRUByteCache
+from repro.serving.store import SceneStore
+
+#: Default byte budget of the per-scene covariance cache (a 100k-Gaussian
+#: scene's (N, 3, 3) float64 covariances are ~7 MiB).
+DEFAULT_COVARIANCE_CACHE_BYTES = 64 * 1024 * 1024
+
+#: Default byte budget of the rendered-frame cache.
+DEFAULT_FRAME_CACHE_BYTES = 256 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class RenderRequest:
+    """One render request of the stream.
+
+    Attributes
+    ----------
+    scene_id:
+        Index (or name) of the scene in the service's store.
+    camera:
+        Viewpoint to render.
+    backend:
+        Optional Stage-3 backend override (``"scalar"``/``"vectorized"``);
+        defaults to the service's backend.
+    """
+
+    scene_id: object
+    camera: Camera
+    backend: Optional[str] = None
+
+
+@dataclass
+class RenderResponse:
+    """Completed request: the frame plus serving metadata."""
+
+    request: RenderRequest
+    scene_index: int
+    result: RenderResult
+    from_cache: bool
+    latency_s: float = 0.0
+    frame_key: tuple = field(default=(), repr=False)
+
+    @property
+    def image(self) -> np.ndarray:
+        """The rendered ``(H, W, 3)`` frame."""
+        return self.result.image
+
+
+@dataclass
+class ServiceReport:
+    """Aggregate outcome of serving one request stream."""
+
+    responses: List[RenderResponse]
+    wall_seconds: float
+    num_batches: int
+    covariance_cache: CacheStats
+    frame_cache: CacheStats
+
+    @property
+    def num_requests(self) -> int:
+        return len(self.responses)
+
+    @property
+    def num_cache_hits(self) -> int:
+        """Requests answered from the frame cache."""
+        return sum(1 for r in self.responses if r.from_cache)
+
+    @property
+    def num_rendered(self) -> int:
+        """Requests that required a fresh render."""
+        return self.num_requests - self.num_cache_hits
+
+    @property
+    def requests_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return float("inf")
+        return self.num_requests / self.wall_seconds
+
+    @property
+    def mean_latency_s(self) -> float:
+        if not self.responses:
+            return 0.0
+        return sum(r.latency_s for r in self.responses) / len(self.responses)
+
+    @property
+    def max_latency_s(self) -> float:
+        if not self.responses:
+            return 0.0
+        return max(r.latency_s for r in self.responses)
+
+    def latency_percentile(self, percentile: float) -> float:
+        """Latency percentile (e.g. ``95``) over all requests."""
+        if not self.responses:
+            return 0.0
+        return float(
+            np.percentile([r.latency_s for r in self.responses], percentile)
+        )
+
+
+def _result_nbytes(result: RenderResult) -> int:
+    """Approximate retained bytes of a cached render result."""
+    projected = result.projected
+    arrays = (
+        result.image, projected.means, projected.cov_inverses,
+        projected.depths, projected.colors, projected.opacities,
+        projected.radii,
+    )
+    total = sum(a.nbytes for a in arrays)
+    # Tile lists hold int64 indices, one per sort key.
+    total += 8 * result.binning.num_keys
+    return total
+
+
+class RenderService:
+    """Serves render-request streams against a :class:`SceneStore`.
+
+    Parameters
+    ----------
+    store:
+        The scene store to serve from.
+    backend:
+        Default Stage-3 backend for requests that do not specify one.
+    background, sh_degree, collect_stats:
+        Render settings applied to every request (uniform settings are what
+        make same-scene batching and frame memoization sound).
+    covariance_cache_bytes:
+        Byte budget of the per-scene world-space covariance LRU cache
+        (``0`` disables it, ``None`` unbounded).
+    frame_cache_bytes:
+        Byte budget of the rendered-frame LRU cache (``0`` disables frame
+        memoization, ``None`` unbounded).
+    """
+
+    def __init__(
+        self,
+        store: SceneStore,
+        backend: Optional[str] = None,
+        background=(0.0, 0.0, 0.0),
+        sh_degree: Optional[int] = None,
+        collect_stats: bool = True,
+        covariance_cache_bytes: Optional[int] = DEFAULT_COVARIANCE_CACHE_BYTES,
+        frame_cache_bytes: Optional[int] = DEFAULT_FRAME_CACHE_BYTES,
+    ):
+        if backend is not None and backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+        self.store = store
+        self.backend = backend or DEFAULT_BACKEND
+        self.background = tuple(float(v) for v in background)
+        self.sh_degree = sh_degree
+        self.collect_stats = collect_stats
+        self.covariance_cache = LRUByteCache(covariance_cache_bytes)
+        self.frame_cache = LRUByteCache(frame_cache_bytes)
+
+    # ------------------------------------------------------------------ #
+    # Caching helpers
+    # ------------------------------------------------------------------ #
+    def scene_covariances(self, scene_index: int) -> Optional[np.ndarray]:
+        """World-space covariances of one scene, memoized across calls."""
+        cloud = self.store.get_cloud(scene_index)
+        if len(cloud) == 0:
+            return None
+        covariances = self.covariance_cache.get(scene_index)
+        if covariances is None:
+            covariances = cloud.covariances()
+            self.covariance_cache.put(
+                scene_index, covariances, covariances.nbytes
+            )
+        return covariances
+
+    def _frame_key(self, scene_index: int, camera: Camera) -> tuple:
+        """Cache key identifying a rendered frame.
+
+        The Stage-3 backend is deliberately *not* part of the key: the
+        backends are bit-identical in FP64, so a frame rendered by either
+        one answers requests for both.
+        """
+        pose = np.ascontiguousarray(camera.world_to_camera)
+        return (
+            scene_index, camera.width, camera.height, camera.fx, camera.fy,
+            camera.cx, camera.cy, camera.znear, camera.zfar, pose.tobytes(),
+            self.sh_degree, self.background,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Serving
+    # ------------------------------------------------------------------ #
+    def serve(self, requests: Iterable[RenderRequest]) -> ServiceReport:
+        """Serve a request stream and return the aggregate report.
+
+        Requests are grouped by (scene, backend) so each group pays the
+        scene-level preprocessing once; responses come back in request
+        order, each bit-identical to a standalone
+        :func:`repro.gaussians.pipeline.render` of its request.
+        """
+        start = time.perf_counter()
+        requests = list(requests)
+        responses: List[Optional[RenderResponse]] = [None] * len(requests)
+
+        # Group request indices by (scene, backend), preserving first-seen
+        # group order so the stream is served roughly FIFO.
+        groups: "OrderedDict[Tuple[int, str], List[int]]" = OrderedDict()
+        for position, request in enumerate(requests):
+            scene_index = self.store.resolve_index(request.scene_id)
+            backend = request.backend or self.backend
+            if backend not in BACKENDS:
+                raise ValueError(
+                    f"unknown backend {backend!r}; choose from {BACKENDS}"
+                )
+            groups.setdefault((scene_index, backend), []).append(position)
+
+        num_batches = 0
+        for (scene_index, backend), members in groups.items():
+            # Answer repeated viewpoints from the frame cache; collect the
+            # distinct frames that actually need rendering.  Duplicates of a
+            # frame already pending in this call are deduplicated without
+            # consulting the LRU, so its hit/miss counters track only
+            # cross-call reuse.
+            pending: "OrderedDict[tuple, List[int]]" = OrderedDict()
+            for position in members:
+                request = requests[position]
+                key = self._frame_key(scene_index, request.camera)
+                if key in pending:
+                    pending[key].append(position)
+                    continue
+                cached = self.frame_cache.get(key)
+                if cached is not None:
+                    responses[position] = RenderResponse(
+                        request=request, scene_index=scene_index,
+                        result=cached, from_cache=True, frame_key=key,
+                    )
+                else:
+                    pending[key] = [position]
+
+            if pending:
+                scene = self.store.get_scene(scene_index)
+                cameras = [
+                    requests[positions[0]].camera
+                    for positions in pending.values()
+                ]
+                batch = render_batch(
+                    scene,
+                    cameras=cameras,
+                    background=self.background,
+                    sh_degree=self.sh_degree,
+                    collect_stats=self.collect_stats,
+                    backend=backend,
+                    covariances=self.scene_covariances(scene_index),
+                )
+                num_batches += 1
+                for (key, positions), result in zip(
+                    pending.items(), batch.results
+                ):
+                    self.frame_cache.put(key, result, _result_nbytes(result))
+                    for rank, position in enumerate(positions):
+                        responses[position] = RenderResponse(
+                            request=requests[position],
+                            scene_index=scene_index,
+                            result=result,
+                            # The first request of a viewpoint triggered the
+                            # render; later duplicates in the same group were
+                            # answered by memoization.
+                            from_cache=rank > 0,
+                            frame_key=key,
+                        )
+
+            group_done = time.perf_counter() - start
+            for position in members:
+                responses[position].latency_s = group_done
+
+        wall_seconds = time.perf_counter() - start
+        return ServiceReport(
+            responses=[r for r in responses if r is not None],
+            wall_seconds=wall_seconds,
+            num_batches=num_batches,
+            covariance_cache=self.covariance_cache.stats(),
+            frame_cache=self.frame_cache.stats(),
+        )
+
+    def submit(self, request: RenderRequest) -> RenderResponse:
+        """Serve a single request (sharing the service's caches)."""
+        return self.serve([request]).responses[0]
+
+
+def synthetic_request_trace(
+    store: SceneStore,
+    num_requests: int,
+    seed: int = 0,
+    backends: Optional[Sequence[str]] = None,
+) -> List[RenderRequest]:
+    """Generate a random request trace against a store's own cameras.
+
+    Scene and viewpoint are drawn uniformly, which concentrates repeated
+    (scene, camera) pairs once ``num_requests`` exceeds the number of
+    distinct viewpoints — the popular-view locality a serving layer exists
+    to exploit.
+    """
+    if num_requests < 0:
+        raise ValueError("num_requests must be non-negative")
+    if len(store) == 0:
+        raise ValueError("cannot build a trace against an empty store")
+    eligible = [
+        index for index in range(len(store)) if store.get_cameras(index)
+    ]
+    if not eligible:
+        raise ValueError("no scene in the store has cameras")
+    rng = np.random.default_rng(seed)
+    requests = []
+    for _ in range(num_requests):
+        scene_index = int(rng.choice(eligible))
+        cameras = store.get_cameras(scene_index)
+        camera = cameras[int(rng.integers(len(cameras)))]
+        backend = None
+        if backends:
+            backend = backends[int(rng.integers(len(backends)))]
+        requests.append(
+            RenderRequest(scene_id=scene_index, camera=camera, backend=backend)
+        )
+    return requests

@@ -61,6 +61,28 @@ class TestProjection:
         assert tan_x == pytest.approx(0.5)
         assert tan_y == pytest.approx(0.25)
 
+    def test_projection_matrix_unaffected_by_principal_point(self):
+        # The projection matrix describes the symmetric on-axis image
+        # extent; the conservative culling bound of tan_half_fov must not
+        # leak into it.
+        centered = Camera(width=100, height=50, fx=100.0, fy=100.0)
+        shifted = Camera(
+            width=100, height=50, fx=100.0, fy=100.0, cx=20.0, cy=40.0
+        )
+        assert np.allclose(
+            centered.projection_matrix(), shifted.projection_matrix()
+        )
+
+    def test_tan_half_fov_covers_off_center_principal_point(self):
+        # With cx = 20 the frustum reaches 80 pixels right of the principal
+        # point; the symmetric bound must cover that wider side.
+        camera = Camera(
+            width=100, height=50, fx=100.0, fy=100.0, cx=20.0, cy=40.0
+        )
+        tan_x, tan_y = camera.tan_half_fov
+        assert tan_x == pytest.approx(0.8)
+        assert tan_y == pytest.approx(0.4)
+
     def test_projection_matrix_maps_near_plane(self):
         camera = Camera(width=64, height=64, fx=64.0, fy=64.0, znear=0.1, zfar=100.0)
         matrix = camera.projection_matrix()

@@ -139,6 +139,31 @@ class TestScaledDesign:
         assert report.load_imbalance >= 1.0
         assert report.operation_counts["mul"] > 0
 
+    def test_load_imbalance_counts_idle_instances(self):
+        # Regression: instances left idle by the tile assignment used to be
+        # excluded, so one busy instance among four reported perfect balance.
+        from repro.hardware.multi import FrameReport
+        from repro.hardware.rasterizer import InstanceReport
+
+        reports = [InstanceReport(cycles=400)] + [
+            InstanceReport(cycles=0) for _ in range(3)
+        ]
+        report = FrameReport(
+            frame_cycles=400, instance_reports=reports, config=GauRastConfig()
+        )
+        assert report.load_imbalance == pytest.approx(4.0)
+
+    def test_load_imbalance_of_empty_frame_is_one(self):
+        from repro.hardware.multi import FrameReport
+        from repro.hardware.rasterizer import InstanceReport
+
+        report = FrameReport(
+            frame_cycles=0,
+            instance_reports=[InstanceReport(cycles=0) for _ in range(2)],
+            config=GauRastConfig(),
+        )
+        assert report.load_imbalance == 1.0
+
     def test_analytical_estimate_matches_cycle_simulation(self, synthetic_render):
         result = synthetic_render
         config = GauRastConfig(num_instances=2)

@@ -115,6 +115,42 @@ class TestSceneIO:
         with pytest.raises(FileNotFoundError):
             load_scene(tmp_path / "does-not-exist.npz")
 
+    def test_camera_less_scene_round_trip(self, synthetic_scene, tmp_path):
+        # Regression: saving a scene with no cameras used to crash on
+        # np.stack of an empty pose list.
+        from repro.gaussians.scene import GaussianScene
+
+        bare = GaussianScene(
+            cloud=synthetic_scene.cloud, cameras=[], name="bare"
+        )
+        path = save_scene(bare, tmp_path / "bare")
+        loaded = load_scene(path)
+        assert loaded.cameras == []
+        assert loaded.name == "bare"
+        assert np.array_equal(
+            loaded.cloud.positions, synthetic_scene.cloud.positions
+        )
+        assert np.array_equal(
+            loaded.cloud.sh_coeffs, synthetic_scene.cloud.sh_coeffs
+        )
+
+    def test_empty_cloud_round_trip(self, tmp_path):
+        from repro.gaussians.gaussian import GaussianCloud
+        from repro.gaussians.scene import GaussianScene
+
+        empty = GaussianScene(
+            cloud=GaussianCloud(
+                positions=np.zeros((0, 3)), scales=np.zeros((0, 3)),
+                rotations=np.zeros((0, 4)), opacities=np.zeros(0),
+                sh_coeffs=np.zeros((0, 9, 3)),
+            ),
+            cameras=[], name="empty",
+        )
+        loaded = load_scene(save_scene(empty, tmp_path / "empty"))
+        assert loaded.num_gaussians == 0
+        assert loaded.cloud.sh_coeffs.shape == (0, 9, 3)
+        assert loaded.cameras == []
+
 
 class TestPpmExport:
     def test_writes_valid_header_and_size(self, tmp_path):

@@ -50,9 +50,14 @@ class TestRender:
 
 
 class TestGaussianScene:
-    def test_requires_a_camera(self, tiny_cloud):
+    def test_camera_less_scene_has_no_default_camera(self, tiny_cloud):
+        # Camera-less scenes are allowed (SceneStore entries can carry only
+        # a cloud), but rendering one without an explicit camera is an error.
+        scene = GaussianScene(cloud=tiny_cloud, cameras=[])
         with pytest.raises(ValueError):
-            GaussianScene(cloud=tiny_cloud, cameras=[])
+            scene.default_camera
+        with pytest.raises(ValueError):
+            render(scene)
 
     def test_num_gaussians(self, tiny_scene):
         assert tiny_scene.num_gaussians == 3

@@ -110,6 +110,21 @@ class TestColorEvaluation:
         with pytest.raises(ValueError):
             evaluate_sh_colors(np.zeros((1, 4)), np.array([[0.0, 0.0, 1.0]]))
 
+    @pytest.mark.parametrize("count", [2, 3, 5, 8, 15, 17])
+    def test_non_square_coefficient_counts_rejected(self, count):
+        # Regression: K = 15 used to be silently evaluated as degree 2,
+        # dropping the trailing coefficients without any diagnostic.
+        coeffs = np.zeros((2, count, 3))
+        direction = np.array([[0.0, 0.0, 1.0]])
+        with pytest.raises(ValueError, match="1, 4, 9 or 16"):
+            evaluate_sh_colors(coeffs, direction)
+
+    @pytest.mark.parametrize("count", [1, 4, 9, 16])
+    def test_all_valid_coefficient_counts_accepted(self, count):
+        coeffs = np.zeros((2, count, 3))
+        colors = evaluate_sh_colors(coeffs, np.array([[0.0, 0.0, 1.0]]))
+        assert colors.shape == (2, 3)
+
     @given(
         rgb=st.lists(
             st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
