@@ -17,6 +17,9 @@ popular viewpoints.  The example walks through the serving stack:
 Run with::
 
     python examples/multi_scene_serving.py
+
+When one worker is no longer enough, ``examples/sharded_serving.py``
+continues the scenario with the multi-process ``ShardedRenderService``.
 """
 
 from __future__ import annotations

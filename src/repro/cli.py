@@ -14,9 +14,13 @@ Six subcommands cover the library's main flows::
         Build a multi-scene SceneStore archive of synthetic scenes, or
         inspect an existing archive.
 
-    python -m repro serve [--requests N] [--store PATH] [--naive] [--hardware]
-        Serve a synthetic render-request trace through the RenderService and
-        report throughput, latency and cache statistics.
+    python -m repro serve [--requests N] [--store PATH] [--workers N]
+                          [--traffic uniform|zipf|hotspot] [--seed N]
+                          [--naive] [--hardware]
+        Serve a synthetic render-request trace through the RenderService
+        (or, with --workers > 1, the sharded multi-process fleet) and report
+        throughput, latency and cache statistics.  --seed makes the traffic
+        deterministic, so a trace can be replayed exactly.
 
     python -m repro experiments [NAME ...]
         Run the experiment harness (all experiments by default).
@@ -46,7 +50,13 @@ from repro.gaussians.synthetic import SyntheticConfig, make_synthetic_scene
 from repro.hardware.config import GauRastConfig, PROTOTYPE_CONFIG
 from repro.hardware.fp import Precision
 from repro.hardware.validation import validate_against_software
-from repro.serving import RenderService, SceneStore, synthetic_request_trace
+from repro.serving import (
+    TRAFFIC_PATTERNS,
+    RenderService,
+    SceneStore,
+    ShardedRenderService,
+    generate_requests,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -113,11 +123,25 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cameras", type=int, default=4)
     serve.add_argument("--requests", type=int, default=60,
                        help="length of the synthetic request trace")
-    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--seed", type=int, default=0,
+                       help="traffic seed; the same seed replays the exact "
+                            "same request stream")
     serve.add_argument(
         "--backend", choices=BACKENDS, default=DEFAULT_BACKEND,
         help="functional rasterization backend",
     )
+    serve.add_argument("--workers", type=int, default=1,
+                       help="shard the stream across N worker processes "
+                            "with scene affinity (default: 1, in-process)")
+    serve.add_argument(
+        "--traffic", choices=TRAFFIC_PATTERNS, default="uniform",
+        help="scene-popularity skew of the synthetic trace",
+    )
+    serve.add_argument("--zipf-exponent", type=float, default=1.1,
+                       help="popularity exponent of --traffic zipf")
+    serve.add_argument("--hotspot-fraction", type=float, default=0.8,
+                       help="share of requests hitting the hot scene "
+                            "under --traffic hotspot")
     serve.add_argument("--naive", action="store_true",
                        help="also time the naive per-request render loop")
     serve.add_argument("--hardware", action="store_true",
@@ -256,28 +280,55 @@ def _command_store(args: argparse.Namespace) -> int:
 
 
 def _command_serve(args: argparse.Namespace) -> int:
+    if args.workers < 1:
+        print("--workers must be at least 1", file=sys.stderr)
+        return 2
     if args.store:
         store = SceneStore.load(args.store)
     else:
         store = _build_store(args)
-    trace = synthetic_request_trace(store, args.requests, seed=args.seed)
+    trace = generate_requests(
+        store, args.requests, pattern=args.traffic, seed=args.seed,
+        zipf_exponent=args.zipf_exponent,
+        hotspot_fraction=args.hotspot_fraction,
+    )
     print(f"serving {len(trace)} requests over {len(store)} scenes "
-          f"({store.num_cameras} viewpoints, backend={args.backend})")
+          f"({store.num_cameras} viewpoints, traffic={args.traffic}, "
+          f"seed={args.seed}, backend={args.backend}, "
+          f"workers={args.workers})")
 
-    service = RenderService(store, backend=args.backend)
-    report = service.serve(trace)
+    if args.workers > 1:
+        with ShardedRenderService(
+            store, num_workers=args.workers, backend=args.backend
+        ) as fleet:
+            report = fleet.serve(trace)
+    else:
+        report = RenderService(store, backend=args.backend).serve(trace)
     print(f"served {report.num_requests} requests in "
           f"{report.wall_seconds * 1e3:.1f} ms: "
           f"{report.requests_per_second:.1f} req/s, "
           f"{report.num_batches} batches, "
           f"{report.num_cache_hits} requests answered by memoization")
-    print(f"latency: mean {report.mean_latency_s * 1e3:.1f} ms, "
+    print(f"latency: p50 {report.latency_percentile(50) * 1e3:.1f} ms, "
+          f"mean {report.mean_latency_s * 1e3:.1f} ms, "
           f"p95 {report.latency_percentile(95) * 1e3:.1f} ms, "
           f"max {report.max_latency_s * 1e3:.1f} ms")
     frame_cache = report.frame_cache
     print(f"frame cache: {frame_cache.entries} entries, "
           f"{frame_cache.current_bytes / 1024.0:.0f} KiB, "
           f"LRU hit rate across serve calls {frame_cache.hit_rate:.0%}")
+    if args.workers > 1:
+        for shard in report.shards:
+            scenes = ",".join(str(i) for i in shard.scene_indices) or "-"
+            print(f"  shard {shard.shard_id}: scenes [{scenes}], "
+                  f"{shard.num_requests} requests, "
+                  f"{shard.num_batches} batches, "
+                  f"busy {shard.busy_seconds * 1e3:.1f} ms, "
+                  f"utilization "
+                  f"{report.utilization[shard.shard_id]:.0%}")
+        print(f"fleet critical path {report.critical_path_seconds * 1e3:.1f} ms "
+              f"-> {report.modeled_requests_per_second:.1f} req/s "
+              f"with one core per worker")
 
     if args.naive:
         start = time.perf_counter()
@@ -294,7 +345,9 @@ def _command_serve(args: argparse.Namespace) -> int:
 
     if args.hardware:
         system = GauRastSystem()
-        evaluation = system.evaluate_trace(store, trace, backend=args.backend)
+        evaluation = system.evaluate_trace(
+            store, trace, backend=args.backend, workers=args.workers
+        )
         print(f"hardware model: {evaluation.served_cycles} cycles served "
               f"vs {evaluation.naive_cycles} naive "
               f"({evaluation.hardware_speedup:.1f}x fewer cycles, "

@@ -13,6 +13,23 @@ evaluation asks:
   :class:`~repro.gaussians.scene.GaussianScene` through the full pipeline
   with the hardware model executing Stage 3; returns the image and the
   frame report, and is validated against the functional renderer.
+* ``evaluate_trace(store, requests)`` — serve a render-request trace
+  through the serving layer (optionally sharded across ``workers``
+  processes) and replay every distinct frame on the cycle-level model.
+
+Usage::
+
+    from repro.core import GauRastSystem
+    from repro.serving import SceneStore, generate_requests
+
+    system = GauRastSystem()
+    print(system.summary("optimized"))          # paper headline numbers
+
+    store = SceneStore([scene_a, scene_b])
+    trace = generate_requests(store, 60, pattern="zipf")
+    evaluation = system.evaluate_trace(store, trace, workers=4)
+    evaluation.hardware_speedup                  # memoization, in cycles
+    evaluation.service.requests_per_second       # functional fleet throughput
 """
 
 from __future__ import annotations
@@ -38,6 +55,7 @@ from repro.hardware.power import EnergyModel
 from repro.profiling.workload import WorkloadStatistics
 from repro.scheduling.collaborative import schedule_frames
 from repro.serving.service import RenderRequest, RenderService, ServiceReport
+from repro.serving.sharded import FleetReport, ShardedRenderService
 from repro.serving.store import SceneStore
 
 
@@ -54,7 +72,9 @@ class TraceEvaluation:
     Attributes
     ----------
     service:
-        The functional serving report (images, latencies, cache stats).
+        The functional serving report (images, latencies, cache stats) — a
+        :class:`~repro.serving.service.ServiceReport` for a single worker or
+        a :class:`~repro.serving.sharded.FleetReport` for a sharded serve.
     frame_reports:
         Cycle-level report of each distinct frame, aligned with
         ``service.responses`` via ``request_cycles``.
@@ -64,7 +84,7 @@ class TraceEvaluation:
         Hardware configuration the trace was evaluated against.
     """
 
-    service: ServiceReport
+    service: Union[ServiceReport, FleetReport]
     frame_reports: List[FrameReport]
     request_cycles: List[int]
     config: GauRastConfig
@@ -260,32 +280,49 @@ class GauRastSystem:
         requests: List[RenderRequest],
         backend: Optional[str] = None,
         background=(0.0, 0.0, 0.0),
-        service: Optional[RenderService] = None,
+        service: Optional[Union[RenderService, ShardedRenderService]] = None,
+        workers: Optional[int] = None,
     ) -> TraceEvaluation:
         """Serve a request trace and replay it on the hardware model.
 
         The trace is first served functionally through a
         :class:`~repro.serving.service.RenderService` (same-scene batching
-        plus covariance/frame memoization), then every distinct frame's tile
-        lists are replayed on the cycle-level multi-instance simulator.  The
-        result quantifies what the serving layer buys in *hardware* terms:
-        total rasterizer cycles with and without frame memoization, and the
-        request throughput the accelerator sustains at its clock.
+        plus covariance/frame memoization) — or, with ``workers`` > 1, a
+        :class:`~repro.serving.sharded.ShardedRenderService` fleet — then
+        every distinct frame's tile lists are replayed on the cycle-level
+        multi-instance simulator.  The result quantifies what the serving
+        layer buys in *hardware* terms: total rasterizer cycles with and
+        without frame memoization, and the request throughput the
+        accelerator sustains at its clock.  Sharded and single-worker serves
+        produce bit-identical frames, so the hardware replay is unaffected
+        by ``workers``; it changes only the functional report attached to
+        the evaluation.
 
-        When an existing ``service`` is passed, its own backend and
-        background govern both the functional serve and the hardware replay;
-        the ``backend``/``background`` arguments apply only when the service
-        is created here.
+        When an existing ``service`` is passed (single-worker or sharded),
+        its own backend and background govern both the functional serve and
+        the hardware replay; the ``backend``/``background``/``workers``
+        arguments apply only when the service is created here.
         """
+        owned_service = None
         if service is None:
-            service = RenderService(
-                store, backend=backend, background=background,
-                collect_stats=False,
-            )
+            if workers is not None and workers > 1:
+                service = owned_service = ShardedRenderService(
+                    store, num_workers=workers, backend=backend,
+                    background=background, collect_stats=False,
+                )
+            else:
+                service = RenderService(
+                    store, backend=backend, background=background,
+                    collect_stats=False,
+                )
         # The replay must composite over the same background the served
         # frames used, or the two image sets would disagree.
         background = service.background
-        report = service.serve(requests)
+        try:
+            report = service.serve(requests)
+        finally:
+            if owned_service is not None:
+                owned_service.close()
 
         distinct: Dict[tuple, FrameReport] = {}
         request_cycles: List[int] = []

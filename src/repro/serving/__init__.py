@@ -1,22 +1,35 @@
 """Multi-scene hosting and render-request serving.
 
-This package is the production-serving layer of the reproduction: a
-:class:`~repro.serving.store.SceneStore` packs many Gaussian scenes into
-flattened arrays (O(1) zero-copy scene views, amortized growth, one ``.npz``
-archive for the whole fleet of scenes), and a
-:class:`~repro.serving.service.RenderService` serves a stream of
-``(scene_id, camera, backend)`` render requests against the store with
-same-scene batching and byte-budgeted LRU memoization of per-scene
-covariances and rendered frames.
+This package is the production-serving layer of the reproduction, built in
+three tiers:
+
+* :class:`~repro.serving.store.SceneStore` packs many Gaussian scenes into
+  flattened arrays (O(1) zero-copy scene views, amortized growth, one
+  ``.npz`` archive for the whole fleet of scenes);
+* :class:`~repro.serving.service.RenderService` serves a stream of
+  ``(scene_id, camera, backend)`` render requests against the store with
+  same-scene batching and byte-budgeted LRU memoization of per-scene
+  covariances and rendered frames;
+* :class:`~repro.serving.sharded.ShardedRenderService` partitions the
+  stream across N worker processes with scene affinity, merging per-shard
+  results into a fleet-level report — frames stay bit-identical to the
+  single-worker service.
+
+:mod:`repro.serving.traffic` generates the seeded request streams (uniform
+/ zipf / hot-spot scene popularity) that drive benchmarks and the CLI.
 
 Typical usage::
 
-    from repro.serving import RenderService, SceneStore, synthetic_request_trace
+    from repro.serving import (
+        RenderService, SceneStore, ShardedRenderService, generate_requests,
+    )
 
     store = SceneStore([scene_a, scene_b, scene_c])
-    service = RenderService(store)
-    report = service.serve(synthetic_request_trace(store, 60))
-    print(report.requests_per_second, report.mean_latency_s)
+    trace = generate_requests(store, 200, pattern="zipf", seed=7)
+
+    report = RenderService(store).serve(trace)          # one worker
+    with ShardedRenderService(store, num_workers=4) as fleet:
+        fleet_report = fleet.serve(trace)               # four workers
 """
 
 from repro.serving.cache import CacheStats, LRUByteCache
@@ -25,17 +38,35 @@ from repro.serving.service import (
     RenderResponse,
     RenderService,
     ServiceReport,
-    synthetic_request_trace,
+)
+from repro.serving.sharded import (
+    FleetReport,
+    ShardReport,
+    ShardedRenderService,
+    merge_cache_stats,
 )
 from repro.serving.store import SceneStore
+from repro.serving.traffic import (
+    TRAFFIC_PATTERNS,
+    generate_requests,
+    scene_popularity,
+    synthetic_request_trace,
+)
 
 __all__ = [
     "CacheStats",
+    "FleetReport",
     "LRUByteCache",
     "RenderRequest",
     "RenderResponse",
     "RenderService",
     "SceneStore",
     "ServiceReport",
+    "ShardReport",
+    "ShardedRenderService",
+    "TRAFFIC_PATTERNS",
+    "generate_requests",
+    "merge_cache_stats",
+    "scene_popularity",
     "synthetic_request_trace",
 ]

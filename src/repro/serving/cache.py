@@ -6,6 +6,15 @@ budget is exceeded.  :class:`~repro.serving.service.RenderService` keeps two
 of these — one for per-scene world-space covariances, one for rendered
 frames — so that a long request stream runs with bounded memory no matter
 how many scenes or viewpoints it touches.
+
+Usage::
+
+    from repro.serving import LRUByteCache
+
+    cache = LRUByteCache(max_bytes=1 << 20)
+    cache.put("frame-0", image, image.nbytes)
+    cache.get("frame-0")          # the image, now most recently used
+    cache.stats().hit_rate        # activity counters for reports
 """
 
 from __future__ import annotations

@@ -21,6 +21,20 @@ structure of real traffic:
 Every response records its latency (time from ``serve()`` accepting the
 stream to the request's completion), and the report aggregates throughput
 and cache statistics.
+
+Usage::
+
+    from repro.serving import RenderService, SceneStore, generate_requests
+
+    store = SceneStore([scene_a, scene_b, scene_c])
+    service = RenderService(store)
+    report = service.serve(generate_requests(store, 60, pattern="zipf"))
+    report.requests_per_second      # throughput of the whole stream
+    report.latency_percentile(95)   # tail latency
+    report.frame_cache.hit_rate     # memoization effectiveness
+
+To scale beyond one process, :class:`~repro.serving.sharded.ShardedRenderService`
+runs one ``RenderService`` per worker, sharded by scene.
 """
 
 from __future__ import annotations
@@ -28,7 +42,7 @@ from __future__ import annotations
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -83,23 +97,26 @@ class RenderResponse:
         return self.result.image
 
 
-@dataclass
-class ServiceReport:
-    """Aggregate outcome of serving one request stream."""
+class ResponseStreamStats:
+    """Shared accounting over a served response stream.
+
+    Mixed into :class:`ServiceReport` and the fleet-level
+    :class:`~repro.serving.sharded.FleetReport`, both of which carry
+    ``responses`` (in request order) and ``wall_seconds``, so the two
+    reports can never diverge on what throughput or a percentile means.
+    """
 
     responses: List[RenderResponse]
     wall_seconds: float
-    num_batches: int
-    covariance_cache: CacheStats
-    frame_cache: CacheStats
 
     @property
     def num_requests(self) -> int:
+        """Requests served (responses are in request order)."""
         return len(self.responses)
 
     @property
     def num_cache_hits(self) -> int:
-        """Requests answered from the frame cache."""
+        """Requests answered from a frame cache."""
         return sum(1 for r in self.responses if r.from_cache)
 
     @property
@@ -109,18 +126,21 @@ class ServiceReport:
 
     @property
     def requests_per_second(self) -> float:
+        """Throughput over the whole serve call."""
         if self.wall_seconds <= 0:
             return float("inf")
         return self.num_requests / self.wall_seconds
 
     @property
     def mean_latency_s(self) -> float:
+        """Mean request latency (queueing plus service time)."""
         if not self.responses:
             return 0.0
         return sum(r.latency_s for r in self.responses) / len(self.responses)
 
     @property
     def max_latency_s(self) -> float:
+        """Worst request latency of the stream."""
         if not self.responses:
             return 0.0
         return max(r.latency_s for r in self.responses)
@@ -132,6 +152,17 @@ class ServiceReport:
         return float(
             np.percentile([r.latency_s for r in self.responses], percentile)
         )
+
+
+@dataclass
+class ServiceReport(ResponseStreamStats):
+    """Aggregate outcome of serving one request stream."""
+
+    responses: List[RenderResponse]
+    wall_seconds: float
+    num_batches: int
+    covariance_cache: CacheStats
+    frame_cache: CacheStats
 
 
 def _result_nbytes(result: RenderResult) -> int:
@@ -317,39 +348,11 @@ class RenderService:
         """Serve a single request (sharing the service's caches)."""
         return self.serve([request]).responses[0]
 
+    def reset_caches(self) -> None:
+        """Drop both caches (fresh budgets, zeroed counters).
 
-def synthetic_request_trace(
-    store: SceneStore,
-    num_requests: int,
-    seed: int = 0,
-    backends: Optional[Sequence[str]] = None,
-) -> List[RenderRequest]:
-    """Generate a random request trace against a store's own cameras.
-
-    Scene and viewpoint are drawn uniformly, which concentrates repeated
-    (scene, camera) pairs once ``num_requests`` exceeds the number of
-    distinct viewpoints — the popular-view locality a serving layer exists
-    to exploit.
-    """
-    if num_requests < 0:
-        raise ValueError("num_requests must be non-negative")
-    if len(store) == 0:
-        raise ValueError("cannot build a trace against an empty store")
-    eligible = [
-        index for index in range(len(store)) if store.get_cameras(index)
-    ]
-    if not eligible:
-        raise ValueError("no scene in the store has cameras")
-    rng = np.random.default_rng(seed)
-    requests = []
-    for _ in range(num_requests):
-        scene_index = int(rng.choice(eligible))
-        cameras = store.get_cameras(scene_index)
-        camera = cameras[int(rng.integers(len(cameras)))]
-        backend = None
-        if backends:
-            backend = backends[int(rng.integers(len(backends)))]
-        requests.append(
-            RenderRequest(scene_id=scene_index, camera=camera, backend=backend)
-        )
-    return requests
+        Lets benchmarks measure cold-trace behaviour from a warm service,
+        and gives deployments a knob to release memory between tenants.
+        """
+        self.covariance_cache = LRUByteCache(self.covariance_cache.max_bytes)
+        self.frame_cache = LRUByteCache(self.frame_cache.max_bytes)

@@ -1,0 +1,531 @@
+"""Sharded multi-worker render serving: N processes behind one dispatcher.
+
+A :class:`ShardedRenderService` scales the single-process
+:class:`~repro.serving.service.RenderService` across worker processes the
+way the DarkSide-20k DAQ scales event building across time-slice processors:
+a central dispatcher partitions the request stream, independent workers each
+own a disjoint slice of the data, and a merge step reassembles an in-order
+result stream.
+
+The partitioning is **scene affinity**: scene ``i`` of the store is owned by
+shard ``i % num_workers``, every request for a scene is routed to its one
+owner, and therefore each worker's covariance and frame caches stay hot for
+exactly the scenes it serves — no cache entry is ever duplicated across
+workers, so N workers give N times the aggregate cache budget, not N copies
+of the same working set.  Within a shard, requests keep all of
+``RenderService``'s batching and memoization, which is why the fleet's
+frames are bit-identical to a single-worker serve of the same stream.
+
+Workers are long-lived ``multiprocessing`` processes, each holding its own
+sub-:class:`~repro.serving.store.SceneStore` and ``RenderService``; the
+dispatcher talks to them over pipes.  ``use_processes=False`` (or
+``num_workers=1``) degrades gracefully to in-process shard services, which
+is also how per-shard *busy time* is measured cleanly on machines with few
+cores (see :attr:`FleetReport.critical_path_seconds`).
+
+Usage::
+
+    from repro.serving import ShardedRenderService, generate_requests
+
+    with ShardedRenderService(store, num_workers=4) as fleet:
+        report = fleet.serve(generate_requests(store, 200, pattern="zipf"))
+    report.requests_per_second        # measured fleet throughput
+    report.latency_percentile(95)     # tail latency across all shards
+    report.utilization                # per-shard busy fraction
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.gaussians.rasterize import BACKENDS, DEFAULT_BACKEND
+from repro.serving.cache import CacheStats
+from repro.serving.service import (
+    DEFAULT_COVARIANCE_CACHE_BYTES,
+    DEFAULT_FRAME_CACHE_BYTES,
+    RenderRequest,
+    RenderResponse,
+    RenderService,
+    ResponseStreamStats,
+    ServiceReport,
+)
+from repro.serving.store import SceneStore
+
+
+def merge_cache_stats(stats: Sequence[CacheStats]) -> CacheStats:
+    """Aggregate per-shard cache counters into one fleet-level snapshot.
+
+    Counters add; the byte budget adds too (each shard owns a full budget),
+    unless any shard is unbounded, in which case the fleet is unbounded.
+    """
+    max_bytes: Optional[int] = 0
+    for entry in stats:
+        if entry.max_bytes is None:
+            max_bytes = None
+            break
+        max_bytes += entry.max_bytes
+    return CacheStats(
+        hits=sum(s.hits for s in stats),
+        misses=sum(s.misses for s in stats),
+        evictions=sum(s.evictions for s in stats),
+        entries=sum(s.entries for s in stats),
+        current_bytes=sum(s.current_bytes for s in stats),
+        max_bytes=max_bytes if stats else None,
+    )
+
+
+@dataclass(frozen=True)
+class ShardReport:
+    """One shard's contribution to a served stream.
+
+    Attributes
+    ----------
+    shard_id:
+        Position of the shard in the fleet.
+    scene_indices:
+        Global store indices of the scenes this shard owns.
+    num_requests, num_cache_hits, num_batches:
+        Request accounting of this shard for the served stream.
+    busy_seconds:
+        Wall time the shard's own ``RenderService.serve`` took (0 for a
+        shard that received no requests).
+    covariance_cache, frame_cache:
+        The shard's cache counters after the serve.
+    """
+
+    shard_id: int
+    scene_indices: Tuple[int, ...]
+    num_requests: int
+    num_cache_hits: int
+    num_batches: int
+    busy_seconds: float
+    covariance_cache: CacheStats
+    frame_cache: CacheStats
+
+    @property
+    def requests_per_second(self) -> float:
+        """Throughput of this shard alone over the served stream."""
+        if self.busy_seconds <= 0:
+            return float("inf") if self.num_requests else 0.0
+        return self.num_requests / self.busy_seconds
+
+
+@dataclass
+class FleetReport(ResponseStreamStats):
+    """Aggregate outcome of serving one request stream across all shards.
+
+    Mirrors :class:`~repro.serving.service.ServiceReport` (``responses`` are
+    in request order with *global* scene indices and the same frame keys a
+    single-worker serve would produce; the stream accounting — throughput,
+    latency percentiles, cache-hit counts — comes from the shared
+    :class:`~repro.serving.service.ResponseStreamStats`, with latencies
+    measured within each owning shard's serve) and adds fleet-level views:
+    per-shard utilization, the critical path, and merged cache statistics.
+    """
+
+    responses: List[RenderResponse]
+    wall_seconds: float
+    num_workers: int
+    shards: List[ShardReport]
+
+    @property
+    def num_batches(self) -> int:
+        """Render batches issued across all shards."""
+        return sum(s.num_batches for s in self.shards)
+
+    @property
+    def critical_path_seconds(self) -> float:
+        """Busy time of the slowest shard.
+
+        With one core per worker this is the fleet's ideal wall time: shards
+        share no state, so a deployment is as slow as its busiest shard.
+        Comparing it against a single worker's wall time gives the sharding
+        speedup *independent of how many cores the measuring host has*.
+        """
+        if not self.shards:
+            return 0.0
+        return max(s.busy_seconds for s in self.shards)
+
+    @property
+    def modeled_requests_per_second(self) -> float:
+        """Fleet throughput with one core per worker (critical-path bound)."""
+        critical = self.critical_path_seconds
+        if critical <= 0:
+            return float("inf")
+        return self.num_requests / critical
+
+    @property
+    def utilization(self) -> List[float]:
+        """Per-shard busy fraction of the critical path (1.0 = bottleneck)."""
+        critical = self.critical_path_seconds
+        if critical <= 0:
+            return [0.0 for _ in self.shards]
+        return [s.busy_seconds / critical for s in self.shards]
+
+    @property
+    def covariance_cache(self) -> CacheStats:
+        """Fleet-wide covariance cache counters."""
+        return merge_cache_stats([s.covariance_cache for s in self.shards])
+
+    @property
+    def frame_cache(self) -> CacheStats:
+        """Fleet-wide frame cache counters."""
+        return merge_cache_stats([s.frame_cache for s in self.shards])
+
+
+def _shard_worker_main(connection, store: SceneStore, service_kwargs: dict) -> None:
+    """Worker-process loop: own one shard's scenes, answer serve commands.
+
+    Protocol (request -> response over the pipe):
+
+    * ``("serve", [(local_scene_index, camera, backend), ...])`` ->
+      ``("ok", ServiceReport)``
+    * ``("reset",)`` -> ``("ok", None)`` after dropping both caches
+    * ``("stats",)`` -> ``("ok", (covariance CacheStats, frame CacheStats))``
+    * ``("close",)`` -> loop exit (no response)
+
+    Any exception is caught and returned as ``("error", traceback_text)`` so
+    a bad request cannot wedge the fleet.
+    """
+    service = RenderService(store, **service_kwargs)
+    while True:
+        try:
+            message = connection.recv()
+        except EOFError:
+            break
+        command = message[0]
+        if command == "close":
+            break
+        try:
+            if command == "serve":
+                requests = [
+                    RenderRequest(scene_id=index, camera=camera, backend=backend)
+                    for index, camera, backend in message[1]
+                ]
+                connection.send(("ok", service.serve(requests)))
+            elif command == "reset":
+                service.reset_caches()
+                connection.send(("ok", None))
+            elif command == "stats":
+                connection.send(
+                    ("ok", (service.covariance_cache.stats(),
+                            service.frame_cache.stats()))
+                )
+            else:
+                connection.send(("error", f"unknown command {command!r}"))
+        except Exception:
+            connection.send(("error", traceback.format_exc()))
+    connection.close()
+
+
+class ShardedRenderService:
+    """Partition render traffic across N scene-affine workers.
+
+    Parameters
+    ----------
+    store:
+        The scene store to serve.  The fleet snapshots the store's scenes at
+        construction; scenes added afterwards are not visible to workers.
+    num_workers:
+        Number of shards.  Scene ``i`` is owned by shard
+        ``i % num_workers``; workers beyond the scene count simply idle.
+    backend, background, sh_degree, collect_stats:
+        Per-shard :class:`~repro.serving.service.RenderService` settings.
+    covariance_cache_bytes, frame_cache_bytes:
+        Per-shard cache budgets (each worker owns a full budget).
+    use_processes:
+        ``True`` (default) runs each shard in its own ``multiprocessing``
+        process; ``False`` keeps the shard services in-process, which shares
+        the exact routing/merge code path while serving shards sequentially
+        (useful for tests, single-core hosts and clean busy-time
+        measurement).  ``num_workers=1`` always stays in-process.
+    start_method:
+        Optional ``multiprocessing`` start method (``"fork"``/``"spawn"``);
+        defaults to the platform default.
+
+    The service is a context manager; :meth:`close` shuts the workers down.
+    ``serve`` is not reentrant — one stream at a time per fleet.
+    """
+
+    def __init__(
+        self,
+        store: SceneStore,
+        num_workers: int = 2,
+        backend: Optional[str] = None,
+        background=(0.0, 0.0, 0.0),
+        sh_degree: Optional[int] = None,
+        collect_stats: bool = True,
+        covariance_cache_bytes: Optional[int] = DEFAULT_COVARIANCE_CACHE_BYTES,
+        frame_cache_bytes: Optional[int] = DEFAULT_FRAME_CACHE_BYTES,
+        use_processes: bool = True,
+        start_method: Optional[str] = None,
+    ):
+        if num_workers < 1:
+            raise ValueError("num_workers must be at least 1")
+        if backend is not None and backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+        self.store = store
+        self.num_workers = int(num_workers)
+        self.backend = backend or DEFAULT_BACKEND
+        self.background = tuple(float(v) for v in background)
+        self._service_kwargs = dict(
+            backend=backend,
+            background=self.background,
+            sh_degree=sh_degree,
+            collect_stats=collect_stats,
+            covariance_cache_bytes=covariance_cache_bytes,
+            frame_cache_bytes=frame_cache_bytes,
+        )
+
+        # Scene-affinity sharding: global scene i -> (owner shard, index in
+        # the shard's own sub-store).
+        self._shard_of_scene: List[int] = []
+        self._local_index: List[int] = []
+        self._scenes_of_shard: List[List[int]] = [
+            [] for _ in range(self.num_workers)
+        ]
+        for index in range(len(store)):
+            shard = index % self.num_workers
+            self._shard_of_scene.append(shard)
+            self._local_index.append(len(self._scenes_of_shard[shard]))
+            self._scenes_of_shard[shard].append(index)
+
+        sub_stores = [
+            SceneStore(store.get_scene(index) for index in indices)
+            for indices in self._scenes_of_shard
+        ]
+
+        self._closed = False
+        self._use_processes = bool(use_processes) and self.num_workers > 1
+        if self._use_processes:
+            context = (
+                multiprocessing.get_context(start_method)
+                if start_method
+                else multiprocessing.get_context()
+            )
+            self._connections = []
+            self._processes = []
+            for sub_store in sub_stores:
+                parent_end, child_end = context.Pipe()
+                process = context.Process(
+                    target=_shard_worker_main,
+                    args=(child_end, sub_store, self._service_kwargs),
+                    daemon=True,
+                )
+                process.start()
+                child_end.close()
+                self._connections.append(parent_end)
+                self._processes.append(process)
+            self._services = None
+        else:
+            self._connections = None
+            self._processes = None
+            self._services = [
+                RenderService(sub_store, **self._service_kwargs)
+                for sub_store in sub_stores
+            ]
+
+    # ------------------------------------------------------------------ #
+    # Worker RPC
+    # ------------------------------------------------------------------ #
+    def _call(self, shard: int, message: tuple):
+        """Send one command to a shard worker and return its reply payload."""
+        self._connections[shard].send(message)
+        return self._receive(shard)
+
+    def _receive(self, shard: int):
+        """Receive one reply from a shard worker, raising on failure."""
+        try:
+            status, payload = self._connections[shard].recv()
+        except EOFError:
+            raise RuntimeError(f"shard {shard} worker exited unexpectedly")
+        if status != "ok":
+            raise RuntimeError(f"shard {shard} worker failed:\n{payload}")
+        return payload
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("the sharded service has been closed")
+
+    # ------------------------------------------------------------------ #
+    # Serving
+    # ------------------------------------------------------------------ #
+    def serve(self, requests: Iterable[RenderRequest]) -> FleetReport:
+        """Serve a request stream across the fleet.
+
+        Requests are routed to their scene's owning shard, all active shards
+        serve concurrently (in process mode), and the responses are merged
+        back into request order.  Each response is bit-identical to what a
+        single-worker :class:`~repro.serving.service.RenderService` — or a
+        standalone :func:`repro.gaussians.pipeline.render` — would produce
+        for that request.
+        """
+        self._check_open()
+        start = time.perf_counter()
+        requests = list(requests)
+
+        # Route each request to its scene's owner shard.
+        positions_of_shard: Dict[int, List[int]] = {}
+        resolved: List[int] = []
+        for position, request in enumerate(requests):
+            scene_index = self.store.resolve_index(request.scene_id)
+            backend = request.backend
+            if backend is not None and backend not in BACKENDS:
+                raise ValueError(
+                    f"unknown backend {backend!r}; choose from {BACKENDS}"
+                )
+            resolved.append(scene_index)
+            shard = self._shard_of_scene[scene_index]
+            positions_of_shard.setdefault(shard, []).append(position)
+
+        active = sorted(positions_of_shard)
+        payloads = {
+            shard: [
+                (
+                    self._local_index[resolved[position]],
+                    requests[position].camera,
+                    requests[position].backend,
+                )
+                for position in positions_of_shard[shard]
+            ]
+            for shard in active
+        }
+
+        # Dispatch to every active shard first, then collect: in process
+        # mode the workers overlap; in-process mode serves them in turn.
+        shard_results: Dict[int, ServiceReport] = {}
+        busy_seconds: Dict[int, float] = {}
+        if self._use_processes:
+            for shard in active:
+                self._connections[shard].send(("serve", payloads[shard]))
+            # Collect from every dispatched shard even if one fails: leaving
+            # a reply unread would desync that pipe and hand a later command
+            # a stale report.
+            first_error = None
+            for shard in active:
+                try:
+                    report = self._receive(shard)
+                except RuntimeError as error:
+                    if first_error is None:
+                        first_error = error
+                    continue
+                shard_results[shard] = report
+                busy_seconds[shard] = report.wall_seconds
+            if first_error is not None:
+                raise first_error
+        else:
+            for shard in active:
+                local_requests = [
+                    RenderRequest(scene_id=index, camera=camera, backend=backend)
+                    for index, camera, backend in payloads[shard]
+                ]
+                report = self._services[shard].serve(local_requests)
+                shard_results[shard] = report
+                busy_seconds[shard] = report.wall_seconds
+
+        # Merge, restoring global identities so the fleet report reads
+        # exactly like a single-worker one.
+        responses: List[Optional[RenderResponse]] = [None] * len(requests)
+        shard_reports: List[ShardReport] = []
+        for shard in range(self.num_workers):
+            report = shard_results.get(shard)
+            if report is not None:
+                for position, response in zip(
+                    positions_of_shard[shard], report.responses
+                ):
+                    scene_index = resolved[position]
+                    response.request = requests[position]
+                    response.scene_index = scene_index
+                    response.frame_key = (
+                        (scene_index,) + tuple(response.frame_key[1:])
+                    )
+                    responses[position] = response
+                covariance_stats = report.covariance_cache
+                frame_stats = report.frame_cache
+                num_requests = report.num_requests
+                num_cache_hits = report.num_cache_hits
+                num_batches = report.num_batches
+            else:
+                covariance_stats, frame_stats = self._idle_shard_stats(shard)
+                num_requests = num_cache_hits = num_batches = 0
+            shard_reports.append(
+                ShardReport(
+                    shard_id=shard,
+                    scene_indices=tuple(self._scenes_of_shard[shard]),
+                    num_requests=num_requests,
+                    num_cache_hits=num_cache_hits,
+                    num_batches=num_batches,
+                    busy_seconds=busy_seconds.get(shard, 0.0),
+                    covariance_cache=covariance_stats,
+                    frame_cache=frame_stats,
+                )
+            )
+
+        return FleetReport(
+            responses=[r for r in responses if r is not None],
+            wall_seconds=time.perf_counter() - start,
+            num_workers=self.num_workers,
+            shards=shard_reports,
+        )
+
+    def _idle_shard_stats(self, shard: int) -> Tuple[CacheStats, CacheStats]:
+        """Current cache counters of a shard that served no requests."""
+        if self._use_processes:
+            return self._call(shard, ("stats",))
+        service = self._services[shard]
+        return service.covariance_cache.stats(), service.frame_cache.stats()
+
+    def submit(self, request: RenderRequest) -> RenderResponse:
+        """Serve a single request through its owning shard."""
+        return self.serve([request]).responses[0]
+
+    def reset_caches(self) -> None:
+        """Drop every shard's caches (cold-trace benchmarking, tenant swap)."""
+        self._check_open()
+        if self._use_processes:
+            for connection in self._connections:
+                connection.send(("reset",))
+            for shard in range(self.num_workers):
+                self._receive(shard)
+        else:
+            for service in self._services:
+                service.reset_caches()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Shut the worker processes down (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if not self._use_processes:
+            return
+        for connection in self._connections:
+            try:
+                connection.send(("close",))
+            except (BrokenPipeError, OSError):
+                pass
+        for process in self._processes:
+            process.join(timeout=5.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+        for connection in self._connections:
+            connection.close()
+
+    def __enter__(self) -> "ShardedRenderService":
+        return self
+
+    def __exit__(self, exc_type, exc_value, exc_traceback) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -18,6 +18,17 @@ Spherical-harmonics coefficient counts may differ between scenes (1, 4, 9 or
 16 per Gaussian).  The shared SH array is as wide as the widest scene stored
 so far and zero-padded for narrower scenes; the per-scene coefficient count
 is recorded so that views slice back to exactly the original shape.
+
+Usage::
+
+    from repro.serving import SceneStore
+
+    store = SceneStore([bicycle_scene, garden_scene])
+    store.add_scene(kitchen_scene)
+
+    view = store.get_scene("garden")      # O(1) zero-copy view
+    store.save("fleet.npz")               # one archive, all scenes
+    store = SceneStore.load("fleet.npz")
 """
 
 from __future__ import annotations

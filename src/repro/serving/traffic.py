@@ -1,0 +1,166 @@
+"""Deterministic synthetic traffic generation for the serving layer.
+
+Real multi-user render traffic is not uniform: a deployment hosting many
+scenes sees a few *popular* scenes absorb most requests while the long tail
+idles.  This module generates seeded request streams whose scene-popularity
+skew is configurable, so benchmarks and capacity planning exercise realistic
+load shapes instead of the uniform best case:
+
+* ``"uniform"`` — every scene equally likely (the PR-2 behaviour, and what
+  :func:`synthetic_request_trace` still produces for compatibility);
+* ``"zipf"`` — scene ``r`` in a seeded popularity ranking receives traffic
+  proportional to ``1 / (r + 1) ** zipf_exponent``, the classic web/CDN
+  popularity law;
+* ``"hotspot"`` — one seeded hot scene receives ``hotspot_fraction`` of all
+  requests, the rest share the remainder uniformly (a viral-scene spike).
+
+Streams are fully deterministic functions of ``(store contents, pattern,
+seed)``: the same arguments always produce the same request list, which is
+what makes traffic *replay* possible (``python -m repro serve --seed N``)
+and keeps the sharded-vs-single-worker bit-identity checks meaningful.
+
+Usage::
+
+    from repro.serving import SceneStore, generate_requests
+
+    store = SceneStore([scene_a, scene_b, scene_c])
+    trace = generate_requests(store, 200, pattern="zipf", seed=7)
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.serving.service import RenderRequest
+from repro.serving.store import SceneStore
+
+#: Known scene-popularity patterns.
+TRAFFIC_PATTERNS = ("uniform", "zipf", "hotspot")
+
+#: Default Zipf popularity exponent (web-style traffic is typically ~1).
+DEFAULT_ZIPF_EXPONENT = 1.1
+
+#: Default fraction of requests absorbed by the hot scene.
+DEFAULT_HOTSPOT_FRACTION = 0.8
+
+
+def scene_popularity(
+    num_scenes: int,
+    pattern: str = "uniform",
+    seed: int = 0,
+    zipf_exponent: float = DEFAULT_ZIPF_EXPONENT,
+    hotspot_fraction: float = DEFAULT_HOTSPOT_FRACTION,
+) -> np.ndarray:
+    """Probability each of ``num_scenes`` scenes receives a given request.
+
+    The popularity *ranking* (which scene is hottest) is a seeded random
+    permutation, so different seeds shift load to different scenes while the
+    distribution's shape stays fixed.  Returns a ``(num_scenes,)`` float
+    array summing to 1.
+    """
+    if num_scenes <= 0:
+        raise ValueError("num_scenes must be positive")
+    if pattern not in TRAFFIC_PATTERNS:
+        raise ValueError(
+            f"unknown traffic pattern {pattern!r}; choose from {TRAFFIC_PATTERNS}"
+        )
+    if pattern == "uniform":
+        return np.full(num_scenes, 1.0 / num_scenes)
+
+    # Seeded ranking: rank[i] is the popularity rank of scene i (0 = hottest).
+    # A dedicated RNG keeps the ranking independent of how many draws the
+    # request loop makes.
+    rank = np.random.default_rng(seed).permutation(num_scenes)
+    if pattern == "zipf":
+        if zipf_exponent <= 0:
+            raise ValueError("zipf_exponent must be positive")
+        weights = 1.0 / (rank + 1.0) ** zipf_exponent
+        return weights / weights.sum()
+
+    # pattern == "hotspot"
+    if not 0.0 < hotspot_fraction <= 1.0:
+        raise ValueError("hotspot_fraction must be in (0, 1]")
+    if num_scenes == 1:
+        return np.ones(1)
+    cold = (1.0 - hotspot_fraction) / (num_scenes - 1)
+    weights = np.full(num_scenes, cold)
+    weights[rank == 0] = hotspot_fraction
+    return weights / weights.sum()
+
+
+def generate_requests(
+    store: SceneStore,
+    num_requests: int,
+    pattern: str = "uniform",
+    seed: int = 0,
+    zipf_exponent: float = DEFAULT_ZIPF_EXPONENT,
+    hotspot_fraction: float = DEFAULT_HOTSPOT_FRACTION,
+    backends: Optional[Sequence[str]] = None,
+) -> List[RenderRequest]:
+    """Generate a seeded request stream with configurable popularity skew.
+
+    Scenes are drawn from :func:`scene_popularity` over the store's scenes
+    that have cameras; the viewpoint is drawn uniformly from the chosen
+    scene's own cameras (popular *scenes*, not popular frames, are what
+    shard affinity exploits — frame-level reuse still emerges once
+    ``num_requests`` exceeds the distinct viewpoint count).  When
+    ``backends`` is given, each request's Stage-3 backend override is drawn
+    uniformly from it.
+
+    The stream is a pure function of the arguments: replaying the same
+    ``(pattern, seed)`` pair against the same store reproduces the exact
+    request list.
+    """
+    if num_requests < 0:
+        raise ValueError("num_requests must be non-negative")
+    if len(store) == 0:
+        raise ValueError("cannot build a trace against an empty store")
+    eligible = [
+        index for index in range(len(store)) if store.get_cameras(index)
+    ]
+    if not eligible:
+        raise ValueError("no scene in the store has cameras")
+
+    popularity = scene_popularity(
+        len(eligible),
+        pattern=pattern,
+        seed=seed,
+        zipf_exponent=zipf_exponent,
+        hotspot_fraction=hotspot_fraction,
+    )
+    rng = np.random.default_rng(seed)
+    requests = []
+    for _ in range(num_requests):
+        if pattern == "uniform":
+            # Kept call-for-call identical to the PR-2 generator so uniform
+            # traces (and everything pinned to them) are unchanged.
+            scene_index = int(rng.choice(eligible))
+        else:
+            scene_index = int(rng.choice(eligible, p=popularity))
+        cameras = store.get_cameras(scene_index)
+        camera = cameras[int(rng.integers(len(cameras)))]
+        backend = None
+        if backends:
+            backend = backends[int(rng.integers(len(backends)))]
+        requests.append(
+            RenderRequest(scene_id=scene_index, camera=camera, backend=backend)
+        )
+    return requests
+
+
+def synthetic_request_trace(
+    store: SceneStore,
+    num_requests: int,
+    seed: int = 0,
+    backends: Optional[Sequence[str]] = None,
+) -> List[RenderRequest]:
+    """Uniform random request trace (PR-2 compatible).
+
+    Thin wrapper over :func:`generate_requests` with ``pattern="uniform"``;
+    kept so existing callers and pinned traces keep working.
+    """
+    return generate_requests(
+        store, num_requests, pattern="uniform", seed=seed, backends=backends
+    )
