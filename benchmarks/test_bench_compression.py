@@ -1,0 +1,192 @@
+"""Quality-vs-throughput benchmark of the compression/LOD subsystem.
+
+Serves the same request trace at every detail level of a quantized store
+and records, per level: requests per second, the minimum PSNR against the
+full-detail fp64 render, and the compressed footprint.  Two bars are
+pinned:
+
+* **quality floor** — every lossy level keeps PSNR >= 35 dB on the
+  synthetic bench scenes (deterministic, asserted unconditionally);
+* **throughput win** — the coarsest level serves measurably more req/s
+  than full-detail serving (wall-clock, relaxed on shared CI runners via
+  ``REPRO_RELAX_PERF_ASSERTS`` like the other perf bars).
+
+The lossless (fp64) tier is additionally checked to serve frames
+bit-identical to the uncompressed store — the compression counterpart of
+the serving bit-identity contract in ``docs/ARCHITECTURE.md``.
+"""
+
+import dataclasses
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.compression import CompressedSceneStore
+from repro.gaussians.metrics import compare_images
+from repro.gaussians.pipeline import render
+from repro.gaussians.synthetic import SyntheticConfig, make_synthetic_scene
+from repro.serving import RenderService, SceneStore, generate_requests
+
+#: Gaussians per bench scene (dense enough that importance pruning keeps
+#: the lossy levels above the PSNR floor with margin).
+NUM_GAUSSIANS = 500
+
+#: Number of scenes and requests of the bench trace.
+NUM_SCENES = 3
+NUM_REQUESTS = 45
+
+#: LOD pyramid shape of the bench store.
+LEVELS = 3
+KEEP_RATIO = 0.75
+
+#: Pinned quality floor of every lossy level on the bench scenes.
+MIN_PSNR_DB = 35.0
+
+#: Mean per-level serve seconds, shared across benchmarks of this module.
+_MEAN_SECONDS = {}
+
+
+@pytest.fixture(scope="module")
+def compression_workload():
+    """Bench scenes, their plain and compressed stores, and the trace."""
+    scenes = [
+        make_synthetic_scene(
+            SyntheticConfig(
+                num_gaussians=NUM_GAUSSIANS, width=80, height=60, seed=seed
+            ),
+            name=f"bench-scene-{seed}",
+            num_cameras=4,
+        )
+        for seed in range(NUM_SCENES)
+    ]
+    plain = SceneStore(scenes)
+    compressed = CompressedSceneStore(
+        scenes, codec="fp16", levels=LEVELS, keep_ratio=KEEP_RATIO
+    )
+    trace = generate_requests(plain, NUM_REQUESTS, pattern="uniform", seed=0)
+    return plain, compressed, trace
+
+
+def test_bench_lossless_tier_bit_identity(compression_workload):
+    """fp64-compressed serving produces byte-for-byte the same frames."""
+    plain, _, trace = compression_workload
+    lossless = CompressedSceneStore.from_store(plain, codec="fp64", levels=1)
+    reference = RenderService(plain).serve(trace)
+    compressed = RenderService(lossless).serve(trace)
+    for mine, ref in zip(compressed.responses, reference.responses):
+        assert np.array_equal(mine.image, ref.image)
+
+
+def test_bench_lod_quality_floor(record_info, compression_workload):
+    """Each lossy level meets the pinned PSNR floor on every bench view.
+
+    The reference is the *original uncompressed* render, so the floor
+    covers both the fp16 codec loss (level 0) and the importance pruning
+    (levels 1+).  Deterministic (pure fp64 pipeline), so no relax knob.
+    """
+    plain, compressed, _ = compression_workload
+    worst = {}
+    for index in range(len(compressed)):
+        original = plain.get_scene(index)
+        for camera in compressed.get_cameras(index):
+            reference = render(original, camera=camera).image
+            for level in range(compressed.num_levels(index)):
+                test = render(
+                    compressed.get_scene(index, level), camera=camera
+                ).image
+                psnr = compare_images(reference, test).psnr_db
+                worst[level] = min(worst.get(level, float("inf")), psnr)
+    for level, psnr in sorted(worst.items()):
+        assert psnr >= MIN_PSNR_DB, (
+            f"level {level} PSNR {psnr:.1f} dB below the {MIN_PSNR_DB} dB floor"
+        )
+
+
+def _serve_at_level(store, trace, level, rounds=3):
+    """Mean cold-serve seconds of the trace pinned to one detail level."""
+    pinned = [dataclasses.replace(request, level=level) for request in trace]
+    seconds = []
+    report = None
+    for _ in range(rounds):
+        service = RenderService(store)
+        start = time.perf_counter()
+        report = service.serve(pinned)
+        seconds.append(time.perf_counter() - start)
+    return sum(seconds) / len(seconds), report
+
+
+def test_bench_full_detail_serving(benchmark, record_info, compression_workload):
+    """Reference throughput: the whole trace at level 0 (full detail)."""
+    _, compressed, trace = compression_workload
+    pinned = [dataclasses.replace(request, level=0) for request in trace]
+
+    def cold():
+        return RenderService(compressed).serve(pinned)
+
+    report = benchmark.pedantic(cold, rounds=3, iterations=1)
+    assert report.num_requests == NUM_REQUESTS
+    assert set(report.requests_by_level) == {0}
+    if benchmark.stats is not None:
+        mean = benchmark.stats.stats.mean
+        _MEAN_SECONDS["full"] = mean
+        record_info(benchmark, requests_per_second=NUM_REQUESTS / mean)
+
+
+def test_bench_coarsest_level_serving(benchmark, record_info, compression_workload):
+    """The coarsest level must serve measurably more req/s than level 0."""
+    _, compressed, trace = compression_workload
+    coarsest = LEVELS - 1
+    pinned = [dataclasses.replace(request, level=coarsest) for request in trace]
+
+    def cold():
+        return RenderService(compressed).serve(pinned)
+
+    report = benchmark.pedantic(cold, rounds=3, iterations=1)
+    assert report.num_requests == NUM_REQUESTS
+    assert set(report.requests_by_level) == {coarsest}
+    if benchmark.stats is not None:
+        mean = benchmark.stats.stats.mean
+        _MEAN_SECONDS["coarsest"] = mean
+        record_info(
+            benchmark,
+            requests_per_second=NUM_REQUESTS / mean,
+            level_sizes=list(compressed.level_sizes(0)),
+            compression_ratio=round(compressed.compression_ratio, 2),
+        )
+        if "full" in _MEAN_SECONDS:
+            speedup = _MEAN_SECONDS["full"] / _MEAN_SECONDS["coarsest"]
+            record_info(benchmark, speedup_vs_full_detail=speedup)
+            # Measured ~1.3-1.4x on a quiet machine (44% fewer Gaussians);
+            # shared CI runners opt out via REPRO_RELAX_PERF_ASSERTS.
+            if not os.environ.get("REPRO_RELAX_PERF_ASSERTS"):
+                assert speedup >= 1.1
+
+
+def test_bench_per_level_quality_throughput_table(record_info, compression_workload):
+    """Record the README table: req/s, min PSNR and footprint per level."""
+    plain, compressed, trace = compression_workload
+    table = {}
+    for level in range(LEVELS):
+        seconds, report = _serve_at_level(compressed, trace, level, rounds=2)
+        worst_psnr = float("inf")
+        for index in range(len(compressed)):
+            camera = compressed.get_cameras(index)[0]
+            reference = render(plain.get_scene(index), camera=camera).image
+            test = render(
+                compressed.get_scene(index, level), camera=camera
+            ).image
+            worst_psnr = min(
+                worst_psnr, compare_images(reference, test).psnr_db
+            )
+        table[level] = {
+            "requests_per_second": round(NUM_REQUESTS / seconds, 1),
+            "min_psnr_db": (
+                "inf" if worst_psnr == float("inf") else round(worst_psnr, 1)
+            ),
+            "gaussians": compressed.level_sizes(0)[level],
+        }
+        assert report.num_requests == NUM_REQUESTS
+    # Printed so a local run can refresh the README numbers directly.
+    print("\nper-level quality/throughput:", table)

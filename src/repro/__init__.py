@@ -17,6 +17,9 @@ Package map
 ``repro.serving``
     Multi-scene ``SceneStore`` and the ``RenderService`` request-serving
     layer (flattened storage, batching, LRU memoization).
+``repro.compression``
+    Quantization codecs, importance-pruned LOD pyramids, and the
+    ``CompressedSceneStore`` tier with budget-aware level selection.
 ``repro.triangles``
     Triangle mesh rendering substrate.
 ``repro.hardware``

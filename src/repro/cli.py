@@ -1,6 +1,6 @@
 """Command-line interface of the GauRast reproduction.
 
-Six subcommands cover the library's main flows::
+Seven subcommands cover the library's main flows::
 
     python -m repro evaluate [--algorithm original|optimized] [--scene NAME]
         Paper-scale baseline-vs-GauRast comparison (Table III / Figs. 10-11).
@@ -14,13 +14,21 @@ Six subcommands cover the library's main flows::
         Build a multi-scene SceneStore archive of synthetic scenes, or
         inspect an existing archive.
 
+    python -m repro compress [--store PATH] [--codec fp64|fp16|int8]
+                             [--levels K] [--keep R] [--output out.npz]
+                             [--info PATH] [--quality]
+        Quantize a scene store into a CompressedSceneStore tier (.npz
+        format v3) with K nested LOD levels, report per-level sizes and
+        compression ratios, and optionally measure per-level PSNR.
+
     python -m repro serve [--requests N] [--store PATH] [--workers N]
                           [--traffic uniform|zipf|hotspot] [--seed N]
-                          [--naive] [--hardware]
+                          [--lod] [--codec C] [--naive] [--hardware]
         Serve a synthetic render-request trace through the RenderService
         (or, with --workers > 1, the sharded multi-process fleet) and report
         throughput, latency and cache statistics.  --seed makes the traffic
-        deterministic, so a trace can be replayed exactly.
+        deterministic, so a trace can be replayed exactly.  --lod serves
+        from a compressed store with footprint-driven detail levels.
 
     python -m repro experiments [NAME ...]
         Run the experiment harness (all experiments by default).
@@ -38,6 +46,14 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.compression import (
+    CODECS,
+    CompressedSceneStore,
+    DEFAULT_CODEC,
+    DEFAULT_KEEP_RATIO,
+    DEFAULT_LOD_LEVELS,
+    load_store,
+)
 from repro.core.gaurast import GauRastSystem
 from repro.datasets.nerf360 import SCENE_NAMES
 from repro.experiments import ALL_EXPERIMENTS
@@ -111,6 +127,34 @@ def build_parser() -> argparse.ArgumentParser:
     store.add_argument("--info", default=None, metavar="PATH",
                        help="inspect an existing archive instead of building")
 
+    compress = subparsers.add_parser(
+        "compress", help="quantize a scene store into a compressed LOD tier"
+    )
+    compress.add_argument("--store", default=None, metavar="PATH",
+                          help="compress an existing archive "
+                               "(default: synthesise scenes)")
+    compress.add_argument("--scenes", type=int, default=3)
+    compress.add_argument("--gaussians", type=int, default=600)
+    compress.add_argument("--width", type=int, default=120)
+    compress.add_argument("--height", type=int, default=90)
+    compress.add_argument("--cameras", type=int, default=4)
+    compress.add_argument("--seed", type=int, default=0)
+    compress.add_argument("--codec", choices=CODECS, default=DEFAULT_CODEC,
+                          help="quantization codec (fp64 = lossless tier)")
+    compress.add_argument("--levels", type=int, default=DEFAULT_LOD_LEVELS,
+                          help="LOD pyramid depth (level 0 = full detail)")
+    compress.add_argument("--keep", type=float, default=DEFAULT_KEEP_RATIO,
+                          help="fraction of Gaussians each level keeps "
+                               "from the previous one")
+    compress.add_argument("--output", default=None,
+                          help="write the compressed tier (.npz format v3)")
+    compress.add_argument("--info", default=None, metavar="PATH",
+                          help="inspect an existing compressed archive "
+                               "instead of building")
+    compress.add_argument("--quality", action="store_true",
+                          help="render each level against the original "
+                               "and report PSNR/SSIM")
+
     serve = subparsers.add_parser(
         "serve", help="serve a render-request trace against a scene store"
     )
@@ -142,6 +186,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--hotspot-fraction", type=float, default=0.8,
                        help="share of requests hitting the hot scene "
                             "under --traffic hotspot")
+    serve.add_argument("--lod", action="store_true",
+                       help="serve from a compressed store with "
+                            "footprint-driven detail levels")
+    serve.add_argument("--codec", choices=CODECS, default=DEFAULT_CODEC,
+                       dest="lod_codec", metavar="CODEC",
+                       help="quantization codec used when --lod compresses "
+                            "the store here")
+    serve.add_argument("--lod-levels", type=int, default=DEFAULT_LOD_LEVELS,
+                       help="LOD pyramid depth under --lod")
+    serve.add_argument("--lod-keep", type=float, default=DEFAULT_KEEP_RATIO,
+                       help="per-level keep fraction under --lod")
     serve.add_argument("--naive", action="store_true",
                        help="also time the naive per-request render loop")
     serve.add_argument("--hardware", action="store_true",
@@ -279,14 +334,123 @@ def _command_store(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_compressed_summary(store: CompressedSceneStore) -> None:
+    """Print the per-scene, per-level breakdown of a compressed tier."""
+    headers = ["#", "Scene", "Codec", "Levels (Gaussians)", "KiB", "Ratio"]
+    rows = []
+    for index in range(len(store)):
+        sizes = " > ".join(str(s) for s in store.level_sizes(index))
+        raw = store.scene_raw_nbytes(index)
+        compressed = store.scene_nbytes(index)
+        rows.append(
+            (
+                str(index),
+                store.names[index],
+                store.codec,
+                sizes,
+                fmt(compressed / 1024.0, 1),
+                fmt(raw / max(compressed, 1), 1) + "x",
+            )
+        )
+    print(format_table(headers, rows))
+    print(f"total: {len(store)} scenes, {store.num_gaussians} Gaussians, "
+          f"{store.nbytes / 1024.0:.1f} KiB payload, "
+          f"cloud compression {store.compression_ratio:.1f}x")
+
+
+def _print_level_quality(store: CompressedSceneStore, original=None) -> None:
+    """Render every level of every scene and report quality vs a reference.
+
+    ``original`` is the uncompressed store the tier was built from, so the
+    comparison covers the codec's own loss too; without it (inspecting an
+    archive whose original is gone) the stored full-detail representation
+    is the best available reference, and level 0 is exact by construction.
+    """
+    headers = ["Level", "Gaussians", "Min PSNR (dB)", "Min SSIM"]
+    max_levels = max(store.num_levels(i) for i in range(len(store)))
+    references = {}
+    for index in range(len(store)):
+        cameras = store.get_cameras(index)
+        if not cameras:
+            continue
+        reference_scene = (
+            original.get_scene(index) if original is not None
+            else store.get_scene(index, 0)
+        )
+        references[index] = functional_render(
+            reference_scene, camera=cameras[0]
+        ).image
+    rows = []
+    for level in range(max_levels):
+        psnrs, ssims, counts = [], [], 0
+        for index, reference in references.items():
+            if level >= store.num_levels(index):
+                continue
+            test = functional_render(
+                store.get_scene(index, level),
+                camera=store.get_cameras(index)[0],
+            )
+            comparison = compare_images(reference, test.image)
+            psnrs.append(comparison.psnr_db)
+            ssims.append(comparison.ssim)
+            counts += store.level_sizes(index)[level]
+        if not psnrs:
+            continue
+        min_psnr = min(psnrs)
+        rows.append(
+            (
+                str(level),
+                str(counts),
+                "inf" if min_psnr == float("inf") else fmt(min_psnr, 1),
+                fmt(min(ssims), 4),
+            )
+        )
+    against = (
+        "the original uncompressed scenes" if original is not None
+        else "the stored full-detail representation"
+    )
+    print(f"quality vs {against} (worst over scenes, first camera):")
+    print(format_table(headers, rows))
+
+
+def _command_compress(args: argparse.Namespace) -> int:
+    original = None
+    if args.info:
+        store = CompressedSceneStore.load(args.info)
+        print(f"archive: {args.info}")
+    else:
+        if args.store:
+            original = load_store(args.store)
+        else:
+            original = _build_store(args)
+        store = CompressedSceneStore.from_store(
+            original, codec=args.codec, levels=args.levels, keep_ratio=args.keep
+        )
+    _print_compressed_summary(store)
+    if args.quality:
+        _print_level_quality(store, original=original)
+    if args.output:
+        path = store.save(args.output)
+        print(f"compressed store written to {path}")
+    return 0
+
+
 def _command_serve(args: argparse.Namespace) -> int:
     if args.workers < 1:
         print("--workers must be at least 1", file=sys.stderr)
         return 2
     if args.store:
-        store = SceneStore.load(args.store)
+        store = load_store(args.store)
     else:
         store = _build_store(args)
+    lod_policy = None
+    if args.lod:
+        if not isinstance(store, CompressedSceneStore):
+            store = CompressedSceneStore.from_store(
+                store, codec=args.lod_codec, levels=args.lod_levels,
+                keep_ratio=args.lod_keep,
+            )
+        lod_policy = "footprint"
     trace = generate_requests(
         store, args.requests, pattern=args.traffic, seed=args.seed,
         zipf_exponent=args.zipf_exponent,
@@ -299,11 +463,14 @@ def _command_serve(args: argparse.Namespace) -> int:
 
     if args.workers > 1:
         with ShardedRenderService(
-            store, num_workers=args.workers, backend=args.backend
+            store, num_workers=args.workers, backend=args.backend,
+            lod_policy=lod_policy,
         ) as fleet:
             report = fleet.serve(trace)
     else:
-        report = RenderService(store, backend=args.backend).serve(trace)
+        report = RenderService(
+            store, backend=args.backend, lod_policy=lod_policy
+        ).serve(trace)
     print(f"served {report.num_requests} requests in "
           f"{report.wall_seconds * 1e3:.1f} ms: "
           f"{report.requests_per_second:.1f} req/s, "
@@ -317,6 +484,14 @@ def _command_serve(args: argparse.Namespace) -> int:
     print(f"frame cache: {frame_cache.entries} entries, "
           f"{frame_cache.current_bytes / 1024.0:.0f} KiB, "
           f"LRU hit rate across serve calls {frame_cache.hit_rate:.0%}")
+    if args.lod:
+        by_level = report.requests_by_level
+        levels = ", ".join(
+            f"L{level}: {count}" for level, count in sorted(by_level.items())
+        )
+        print(f"detail levels served (footprint policy): {levels}; "
+              f"store compression {store.compression_ratio:.1f}x "
+              f"({store.codec})")
     if args.workers > 1:
         for shard in report.shards:
             scenes = ",".join(str(i) for i in shard.scene_indices) or "-"
@@ -346,13 +521,22 @@ def _command_serve(args: argparse.Namespace) -> int:
     if args.hardware:
         system = GauRastSystem()
         evaluation = system.evaluate_trace(
-            store, trace, backend=args.backend, workers=args.workers
+            store, trace, backend=args.backend, workers=args.workers,
+            lod_policy=lod_policy,
         )
         print(f"hardware model: {evaluation.served_cycles} cycles served "
               f"vs {evaluation.naive_cycles} naive "
               f"({evaluation.hardware_speedup:.1f}x fewer cycles, "
               f"{evaluation.requests_per_second:.0f} req/s at "
               f"{system.config.clock_hz / 1e6:.0f} MHz)")
+        if args.lod and len(evaluation.frames_by_level) > 1:
+            for level in sorted(evaluation.frames_by_level):
+                mean_cycles = evaluation.mean_cycles_per_frame_by_level[level]
+                traffic = evaluation.traffic_by_level[level]
+                frames = evaluation.frames_by_level[level]
+                print(f"  level {level}: {frames} distinct frames, "
+                      f"{mean_cycles:.0f} cycles/frame, "
+                      f"{traffic / 1024.0:.0f} KiB traffic")
     return 0
 
 
@@ -386,6 +570,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "evaluate": _command_evaluate,
         "render": _command_render,
         "store": _command_store,
+        "compress": _command_compress,
         "serve": _command_serve,
         "experiments": _command_experiments,
         "validate": _command_validate,

@@ -1,0 +1,83 @@
+"""Scene compression and level-of-detail (LOD) subsystem.
+
+GauRast attacks the 3DGS hot path by cutting per-Gaussian work and memory
+traffic; this package attacks the same bottleneck from the storage side,
+trading *controlled, measured* quality for large footprint and throughput
+wins across the serving stack.  Three pieces compose:
+
+* :mod:`repro.compression.codecs` — vectorized quantization codecs
+  (``"fp64"`` lossless passthrough, ``"fp16"``, ``"int8"`` affine) with
+  advertised per-field error bounds;
+* :mod:`repro.compression.lod` — importance pruning (opacity x
+  projected-area contribution) and nested LOD pyramids, plus the
+  footprint/budget policies that pick a level per render request;
+* :mod:`repro.compression.store` — :class:`CompressedSceneStore`, a
+  drop-in quantized tier under ``RenderService`` /
+  ``ShardedRenderService`` with ``.npz`` format v3 persistence (still
+  loading v1/v2 archives losslessly).
+
+Typical usage::
+
+    from repro.compression import CompressedSceneStore, FootprintLodPolicy
+    from repro.serving import RenderService
+
+    store = CompressedSceneStore([scene_a, scene_b], codec="fp16", levels=3)
+    service = RenderService(store, lod_policy=FootprintLodPolicy())
+    report = service.serve(trace)     # levels picked per request
+"""
+
+from repro.compression.codecs import (
+    CLOUD_FIELDS,
+    CODECS,
+    DEFAULT_CODEC,
+    CompressedCloud,
+    EncodedField,
+    compress_cloud,
+    decode_field,
+    encode_field,
+    raw_cloud_nbytes,
+)
+from repro.compression.lod import (
+    DEFAULT_KEEP_RATIO,
+    DEFAULT_LOD_LEVELS,
+    BudgetLodPolicy,
+    FootprintLodPolicy,
+    LodPyramid,
+    build_lod_pyramid,
+    geometric_importance_scores,
+    importance_scores,
+    rendered_importance_scores,
+    resolve_lod_policy,
+)
+from repro.compression.store import (
+    COMPRESSED_FORMAT_VERSION,
+    CompressedSceneRecord,
+    CompressedSceneStore,
+    load_store,
+)
+
+__all__ = [
+    "BudgetLodPolicy",
+    "CLOUD_FIELDS",
+    "CODECS",
+    "COMPRESSED_FORMAT_VERSION",
+    "CompressedCloud",
+    "CompressedSceneRecord",
+    "CompressedSceneStore",
+    "DEFAULT_CODEC",
+    "DEFAULT_KEEP_RATIO",
+    "DEFAULT_LOD_LEVELS",
+    "EncodedField",
+    "FootprintLodPolicy",
+    "LodPyramid",
+    "build_lod_pyramid",
+    "compress_cloud",
+    "decode_field",
+    "encode_field",
+    "geometric_importance_scores",
+    "importance_scores",
+    "load_store",
+    "rendered_importance_scores",
+    "raw_cloud_nbytes",
+    "resolve_lod_policy",
+]

@@ -1,0 +1,325 @@
+"""Importance pruning, LOD pyramids, and budget-aware level selection.
+
+Most Gaussians of a trained 3DGS scene barely matter for most viewpoints:
+small, nearly transparent splats contribute a few low-alpha fragments each,
+yet every one of them pays full price in preprocessing, sorting, and memory
+traffic.  This module ranks Gaussians by an **importance score** — opacity
+times projected-area contribution — and derives *K nested detail levels*
+per scene: level 0 is the full cloud, each coarser level keeps the most
+important fraction of the previous one.  Nesting means a coarser level is
+always a strict subset of a finer one, so quality degrades monotonically
+and a single importance ordering serves every level.
+
+The second half of the module decides *which* level a render request should
+get.  Two policies are provided:
+
+* :class:`FootprintLodPolicy` — derives a Gaussian budget from the camera's
+  screen-space footprint of the scene (zoomed-out viewpoints, where the
+  whole scene covers few pixels, get coarse levels);
+* :class:`BudgetLodPolicy` — a fixed per-request Gaussian budget (an
+  explicit quality/latency knob for deployments with SLOs).
+
+Usage::
+
+    from repro.compression import build_lod_pyramid, FootprintLodPolicy
+
+    pyramid = build_lod_pyramid(cloud, levels=3, keep_ratio=0.7)
+    pyramid.level_sizes                    # e.g. (1000, 700, 490)
+    indices = pyramid.level_indices(2)     # coarsest level's Gaussians
+
+    policy = FootprintLodPolicy(pixels_per_gaussian=8.0)
+    level = policy.select_level(store, scene_index, camera)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.gaussians.camera import Camera
+from repro.gaussians.gaussian import GaussianCloud
+
+#: Default number of detail levels per scene (level 0 = full detail).
+DEFAULT_LOD_LEVELS = 3
+
+#: Default fraction of Gaussians each level keeps from the previous one.
+DEFAULT_KEEP_RATIO = 0.7
+
+
+def geometric_importance_scores(
+    cloud: GaussianCloud, camera: Optional[Camera] = None
+) -> np.ndarray:
+    """Camera-free importance proxy: opacity times splat cross-section.
+
+    The score is ``opacity * cross-section area`` where the cross-section is
+    the ellipse spanned by the two largest scale axes (the face a splat
+    shows to any camera, up to orientation).  When a ``camera`` is given the
+    area is divided by the squared view depth and scaled by the focal
+    lengths — the EWA projected-area contribution — so distant clutter
+    ranks below nearby structure.  Returns a ``(N,)`` array; higher means
+    more important.  Cheap (no rendering), but blind to occlusion; prefer
+    :func:`rendered_importance_scores` when evaluation cameras exist.
+    """
+    if len(cloud) == 0:
+        return np.zeros(0)
+    sorted_scales = np.sort(cloud.scales, axis=1)
+    area = np.pi * sorted_scales[:, -1] * sorted_scales[:, -2]
+    scores = cloud.opacities * area
+    if camera is not None:
+        depths = camera.to_camera_space(cloud.positions)[:, 2]
+        depths = np.maximum(np.abs(depths), camera.znear)
+        scores = scores * (camera.fx * camera.fy) / (depths * depths)
+    return scores
+
+
+def rendered_importance_scores(
+    cloud: GaussianCloud, cameras: Sequence[Camera]
+) -> np.ndarray:
+    """Measured blend energy of each Gaussian over the evaluation cameras.
+
+    Runs the real pipeline (preprocess, tile binning, front-to-back
+    compositing order) for every camera and accumulates each Gaussian's
+    total blend weight ``sum_pixels T * alpha`` — exactly the coefficient
+    its colour enters the frame with.  Unlike the geometric proxy this
+    accounts for occlusion and early termination, so splats hidden behind
+    opaque foreground rank at the bottom even if they are large: pruning
+    low scores first changes the rendered frames as little as possible.
+
+    One full projection + compositing pass per camera; meant for
+    compression time, not the request path.  Returns a ``(N,)`` array of
+    summed contributions (``0`` for Gaussians invisible from every camera).
+    """
+    from repro.gaussians.projection import preprocess
+    from repro.gaussians.rasterize import (
+        ALPHA_SKIP_THRESHOLD,
+        TRANSMITTANCE_EPSILON,
+        gaussian_alpha_block,
+    )
+    from repro.gaussians.sorting import bin_and_sort
+    from repro.gaussians.tiles import TileGrid
+
+    scores = np.zeros(len(cloud))
+    if len(cloud) == 0:
+        return scores
+    if not cameras:
+        raise ValueError("rendered importance needs at least one camera")
+    for camera in cameras:
+        projected, _ = preprocess(cloud, camera)
+        if len(projected) == 0:
+            continue
+        grid = TileGrid(width=camera.width, height=camera.height)
+        binning = bin_and_sort(projected, grid)
+        for tile_id, gaussian_indices in binning.tile_lists.items():
+            alpha = gaussian_alpha_block(
+                grid.tile_pixel_centers(tile_id),
+                projected.means[gaussian_indices],
+                projected.cov_inverses[gaussian_indices],
+                projected.opacities[gaussian_indices],
+            )
+            passes = alpha >= ALPHA_SKIP_THRESHOLD
+            trail = np.empty((len(gaussian_indices) + 1, alpha.shape[1]))
+            trail[0] = 1.0
+            trail[1:] = np.where(passes, 1.0 - alpha, 1.0)
+            np.cumprod(trail, axis=0, out=trail)
+            before = trail[:-1]
+            weight = before * alpha
+            weight *= passes & (before >= TRANSMITTANCE_EPSILON)
+            np.add.at(
+                scores,
+                projected.source_indices[gaussian_indices],
+                weight.sum(axis=1),
+            )
+    return scores
+
+
+def importance_scores(
+    cloud: GaussianCloud,
+    cameras: Union[None, Camera, Sequence[Camera]] = None,
+) -> np.ndarray:
+    """Rank Gaussians by rendering contribution, best method available.
+
+    With evaluation ``cameras`` the measured blend energy
+    (:func:`rendered_importance_scores`) is used; without, the geometric
+    opacity-times-area proxy (:func:`geometric_importance_scores`).
+    """
+    if cameras is None:
+        return geometric_importance_scores(cloud)
+    if isinstance(cameras, Camera):
+        cameras = [cameras]
+    cameras = list(cameras)
+    if not cameras:
+        return geometric_importance_scores(cloud)
+    return rendered_importance_scores(cloud, cameras)
+
+
+@dataclass(frozen=True)
+class LodPyramid:
+    """Nested detail levels of one Gaussian cloud.
+
+    Attributes
+    ----------
+    order:
+        ``(N,)`` Gaussian indices sorted by descending importance (stable,
+        so the pyramid is a pure function of the scores).
+    level_sizes:
+        Gaussians kept at each level, non-increasing;
+        ``level_sizes[0] == N`` (level 0 is the full cloud).
+    """
+
+    order: np.ndarray
+    level_sizes: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.level_sizes:
+            raise ValueError("a pyramid needs at least one level")
+        if self.level_sizes[0] != len(self.order):
+            raise ValueError("level 0 must keep every Gaussian")
+        if any(
+            later > earlier
+            for earlier, later in zip(self.level_sizes, self.level_sizes[1:])
+        ):
+            raise ValueError("level sizes must be non-increasing")
+
+    @property
+    def num_levels(self) -> int:
+        """Number of detail levels (level 0 = full detail)."""
+        return len(self.level_sizes)
+
+    def level_indices(self, level: int) -> np.ndarray:
+        """Cloud indices of ``level``, ascending (preserves storage order).
+
+        Levels are nested: ``level_indices(k + 1)`` is always a subset of
+        ``level_indices(k)``.
+        """
+        if not 0 <= level < self.num_levels:
+            raise IndexError(
+                f"level {level} out of range for {self.num_levels} levels"
+            )
+        return np.sort(self.order[: self.level_sizes[level]])
+
+
+def build_lod_pyramid(
+    cloud: GaussianCloud,
+    cameras: Union[None, Camera, Sequence[Camera]] = None,
+    levels: int = DEFAULT_LOD_LEVELS,
+    keep_ratio: float = DEFAULT_KEEP_RATIO,
+) -> LodPyramid:
+    """Rank ``cloud`` by importance and derive ``levels`` nested tiers.
+
+    Level ``k`` keeps the top ``keep_ratio ** k`` fraction of Gaussians
+    (at least one, for non-empty clouds), ranked by
+    :func:`importance_scores` (measured blend energy when ``cameras`` are
+    given, geometric proxy otherwise).  The ordering is deterministic:
+    equal scores keep their original cloud order.
+    """
+    if levels < 1:
+        raise ValueError("levels must be at least 1")
+    if not 0.0 < keep_ratio <= 1.0:
+        raise ValueError("keep_ratio must be in (0, 1]")
+    scores = importance_scores(cloud, cameras=cameras)
+    order = np.argsort(-scores, kind="stable")
+    n = len(cloud)
+    sizes = tuple(
+        min(n, max(1, math.ceil(n * keep_ratio ** level))) if n else 0
+        for level in range(levels)
+    )
+    return LodPyramid(order=order, level_sizes=sizes)
+
+
+def _finest_level_within(store, scene_index: int, budget: float) -> int:
+    """Finest level whose Gaussian count fits ``budget`` (coarsest if none)."""
+    sizes = store.level_sizes(scene_index)
+    for level, size in enumerate(sizes):
+        if size <= budget:
+            return level
+    return len(sizes) - 1
+
+
+@dataclass(frozen=True)
+class FootprintLodPolicy:
+    """Pick a detail level from the camera's screen-space scene footprint.
+
+    The scene's bounding sphere is projected through the camera:
+    ``footprint_px = pi * (radius * focal / distance)^2``, clamped to the
+    viewport area.  The Gaussian budget is ``footprint_px /
+    pixels_per_gaussian`` and the finest level that fits is served —
+    zoomed-out or thumbnail viewpoints, where the whole scene covers few
+    pixels, automatically degrade to coarse levels while close-ups keep
+    full detail.
+
+    Attributes
+    ----------
+    pixels_per_gaussian:
+        Footprint pixels required to justify one Gaussian of detail.
+        Smaller values bias toward full detail; larger values prune more
+        aggressively.
+    """
+
+    pixels_per_gaussian: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.pixels_per_gaussian <= 0:
+            raise ValueError("pixels_per_gaussian must be positive")
+
+    def select_level(self, store, scene_index: int, camera: Camera) -> int:
+        """Level for one request (see the class docstring for the rule)."""
+        center, radius = store.scene_bounds(scene_index)
+        viewport = float(camera.width * camera.height)
+        if radius <= 0.0:
+            footprint = viewport
+        else:
+            distance = float(np.linalg.norm(camera.camera_center - center))
+            distance = max(distance, camera.znear)
+            focal = math.sqrt(camera.fx * camera.fy)
+            footprint = min(math.pi * (radius * focal / distance) ** 2, viewport)
+        return _finest_level_within(
+            store, scene_index, footprint / self.pixels_per_gaussian
+        )
+
+
+@dataclass(frozen=True)
+class BudgetLodPolicy:
+    """Serve the finest level whose Gaussian count fits a fixed budget.
+
+    An explicit quality/latency knob: a deployment that can afford at most
+    ``max_gaussians`` per render (to hold a latency SLO, or to cap memory
+    traffic on an accelerator) gets the best quality that fits.
+    """
+
+    max_gaussians: int
+
+    def __post_init__(self) -> None:
+        if self.max_gaussians < 1:
+            raise ValueError("max_gaussians must be positive")
+
+    def select_level(self, store, scene_index: int, camera: Camera) -> int:
+        """Finest level of the scene that fits ``max_gaussians``."""
+        return _finest_level_within(store, scene_index, self.max_gaussians)
+
+
+def resolve_lod_policy(policy: Union[None, str, object]):
+    """Normalize a policy argument to a policy object (or ``None``).
+
+    Accepts ``None`` / ``"full"`` (always level 0), ``"footprint"`` (a
+    default :class:`FootprintLodPolicy`), or any object with a
+    ``select_level(store, scene_index, camera)`` method.
+    """
+    if policy is None:
+        return None
+    if isinstance(policy, str):
+        if policy == "full":
+            return None
+        if policy == "footprint":
+            return FootprintLodPolicy()
+        raise ValueError(
+            f"unknown LOD policy {policy!r}; choose 'full', 'footprint', "
+            "or pass a policy object"
+        )
+    if not callable(getattr(policy, "select_level", None)):
+        raise TypeError(
+            "a LOD policy must provide select_level(store, scene_index, camera)"
+        )
+    return policy

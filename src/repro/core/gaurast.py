@@ -82,12 +82,16 @@ class TraceEvaluation:
         Per-request hardware cycles of the frame answering it.
     config:
         Hardware configuration the trace was evaluated against.
+    frame_levels:
+        Detail level of each distinct frame, aligned with
+        ``frame_reports`` (all zeros for a serve without LOD).
     """
 
     service: Union[ServiceReport, FleetReport]
     frame_reports: List[FrameReport]
     request_cycles: List[int]
     config: GauRastConfig
+    frame_levels: List[int] = field(default_factory=list)
 
     @property
     def served_cycles(self) -> int:
@@ -113,6 +117,48 @@ class TraceEvaluation:
             return float("inf")
         seconds = self.served_cycles / self.config.clock_hz
         return self.service.num_requests / seconds
+
+    def _by_level(self, value_of) -> Dict[int, float]:
+        """Aggregate a per-frame quantity over the frames of each level."""
+        totals: Dict[int, float] = {}
+        levels = self.frame_levels or [0] * len(self.frame_reports)
+        for level, report in zip(levels, self.frame_reports):
+            totals[level] = totals.get(level, 0) + value_of(report)
+        return totals
+
+    @property
+    def cycles_by_level(self) -> Dict[int, int]:
+        """Rasterizer cycles of the distinct frames, per detail level.
+
+        Quantifies what each LOD tier costs in *hardware* terms: coarser
+        levels rasterize fewer Gaussians, so their per-frame cycle counts
+        drop relative to level 0 (compare against ``frames_by_level`` for
+        per-frame deltas).
+        """
+        return self._by_level(lambda report: report.frame_cycles)
+
+    @property
+    def traffic_by_level(self) -> Dict[int, int]:
+        """Memory-interface traffic bytes of the distinct frames, per level.
+
+        The bandwidth half of the LOD argument: pruned levels move fewer
+        per-Gaussian operand bundles through the memory interface.
+        """
+        return self._by_level(lambda report: report.traffic_bytes)
+
+    @property
+    def frames_by_level(self) -> Dict[int, int]:
+        """Distinct frames simulated per detail level."""
+        return self._by_level(lambda report: 1)
+
+    @property
+    def mean_cycles_per_frame_by_level(self) -> Dict[int, float]:
+        """Average rasterizer cycles of one frame at each detail level."""
+        frames = self.frames_by_level
+        return {
+            level: cycles / frames[level]
+            for level, cycles in self.cycles_by_level.items()
+        }
 
 
 @dataclass
@@ -282,6 +328,7 @@ class GauRastSystem:
         background=(0.0, 0.0, 0.0),
         service: Optional[Union[RenderService, ShardedRenderService]] = None,
         workers: Optional[int] = None,
+        lod_policy=None,
     ) -> TraceEvaluation:
         """Serve a request trace and replay it on the hardware model.
 
@@ -298,10 +345,16 @@ class GauRastSystem:
         by ``workers``; it changes only the functional report attached to
         the evaluation.
 
+        With a LOD-tiered store (and a ``lod_policy`` or explicit request
+        levels), each distinct frame is simulated at the level it was
+        served, and ``cycles_by_level`` / ``traffic_by_level`` report the
+        hardware cost deltas between detail levels.
+
         When an existing ``service`` is passed (single-worker or sharded),
         its own backend and background govern both the functional serve and
-        the hardware replay; the ``backend``/``background``/``workers``
-        arguments apply only when the service is created here.
+        the hardware replay; the ``backend``/``background``/``workers``/
+        ``lod_policy`` arguments apply only when the service is created
+        here.
         """
         owned_service = None
         if service is None:
@@ -309,11 +362,12 @@ class GauRastSystem:
                 service = owned_service = ShardedRenderService(
                     store, num_workers=workers, backend=backend,
                     background=background, collect_stats=False,
+                    lod_policy=lod_policy,
                 )
             else:
                 service = RenderService(
                     store, backend=backend, background=background,
-                    collect_stats=False,
+                    collect_stats=False, lod_policy=lod_policy,
                 )
         # The replay must composite over the same background the served
         # frames used, or the two image sets would disagree.
@@ -325,6 +379,7 @@ class GauRastSystem:
                 owned_service.close()
 
         distinct: Dict[tuple, FrameReport] = {}
+        frame_levels: Dict[tuple, int] = {}
         request_cycles: List[int] = []
         for response in report.responses:
             frame = distinct.get(response.frame_key)
@@ -335,10 +390,12 @@ class GauRastSystem:
                     background=background,
                 )
                 distinct[response.frame_key] = frame
+                frame_levels[response.frame_key] = response.level
             request_cycles.append(frame.frame_cycles)
         return TraceEvaluation(
             service=report,
             frame_reports=list(distinct.values()),
             request_cycles=request_cycles,
             config=self.config,
+            frame_levels=list(frame_levels.values()),
         )

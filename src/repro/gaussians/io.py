@@ -8,7 +8,9 @@ persisted, shared between the examples and reloaded without re-generation.
 Since the multi-scene :class:`~repro.serving.store.SceneStore` landed, the
 store owns the archive format (version 2) and :func:`save_scene` /
 :func:`load_scene` are thin single-scene wrappers around it.  Archives in
-the original one-scene layout (format version 1) are still readable.
+the original one-scene layout (format version 1) and compressed-tier
+archives (format version 3, see :mod:`repro.compression.store`) are also
+readable.
 """
 
 from __future__ import annotations
@@ -78,9 +80,11 @@ def _load_scene_v1(archive, metadata: dict) -> GaussianScene:
 def load_scene(path: Union[str, Path]) -> GaussianScene:
     """Load a scene previously written by :func:`save_scene`.
 
-    Reads both store archives (format version 2, which must contain exactly
-    one scene — use :meth:`~repro.serving.store.SceneStore.load` for
-    multi-scene archives) and legacy one-scene archives (format version 1).
+    Reads store archives (format version 2), compressed-tier archives
+    (format version 3, decoded at full detail), and legacy one-scene
+    archives (format version 1).  Multi-scene archives must contain exactly
+    one scene — use :meth:`~repro.serving.store.SceneStore.load` (or
+    :meth:`~repro.compression.store.CompressedSceneStore.load`) otherwise.
     """
     from repro.serving.store import SceneStore, STORE_FORMAT_VERSION
 
@@ -101,6 +105,16 @@ def load_scene(path: Union[str, Path]) -> GaussianScene:
                     "for multi-scene archives"
                 )
             return store.get_scene(0)
+    from repro.compression.store import COMPRESSED_FORMAT_VERSION, CompressedSceneStore
+
+    if version == COMPRESSED_FORMAT_VERSION:
+        store = CompressedSceneStore.load(path)
+        if len(store) != 1:
+            raise ValueError(
+                f"archive holds {len(store)} scenes; use "
+                "CompressedSceneStore.load for multi-scene archives"
+            )
+        return store.get_scene(0)
     raise ValueError(f"unsupported scene format version {version!r}")
 
 

@@ -26,7 +26,11 @@ from typing import Any, Hashable, Optional
 
 @dataclass(frozen=True)
 class CacheStats:
-    """Snapshot of a cache's activity counters."""
+    """Snapshot of a cache's activity counters.
+
+    ``rejections`` counts ``put`` calls whose value exceeded the whole byte
+    budget and was therefore never stored (see :meth:`LRUByteCache.put`).
+    """
 
     hits: int
     misses: int
@@ -34,6 +38,7 @@ class CacheStats:
     entries: int
     current_bytes: int
     max_bytes: Optional[int]
+    rejections: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -60,6 +65,7 @@ class LRUByteCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.rejections = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -82,11 +88,20 @@ class LRUByteCache:
 
         A value larger than the whole budget is not stored at all — caching
         it would immediately evict everything else for a single entry that
-        cannot even fit.
+        cannot even fit.  The rejection is counted, and any *stale* value
+        already cached under the same key is evicted (leaving it would make
+        later ``get`` calls return outdated data), with its bytes returned
+        to the budget.
         """
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
         if self.max_bytes == 0:
             return
         if self.max_bytes is not None and nbytes > self.max_bytes:
+            self.rejections += 1
+            if key in self._entries:
+                self.current_bytes -= self._entries.pop(key)[1]
+                self.evictions += 1
             return
         if key in self._entries:
             self.current_bytes -= self._entries.pop(key)[1]
@@ -107,4 +122,5 @@ class LRUByteCache:
             entries=len(self._entries),
             current_bytes=self.current_bytes,
             max_bytes=self.max_bytes,
+            rejections=self.rejections,
         )

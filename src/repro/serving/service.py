@@ -18,6 +18,13 @@ structure of real traffic:
   are bit-identical in FP64 (see PR 1's golden-equivalence suite), so a
   cached frame is *exactly* the image a fresh render would produce.
 
+* **Budget-aware LOD** — served over a
+  :class:`~repro.compression.store.CompressedSceneStore`, a ``lod_policy``
+  picks a detail level per request (from the camera's screen-space scene
+  footprint or an explicit Gaussian budget); cache keys carry the level,
+  so levels never cross-contaminate and the lossless tier stays
+  bit-identical to an uncompressed serve.
+
 Every response records its latency (time from ``serve()`` accepting the
 stream to the request's completion), and the report aggregates throughput
 and cache statistics.
@@ -73,11 +80,16 @@ class RenderRequest:
     backend:
         Optional Stage-3 backend override (``"scalar"``/``"vectorized"``);
         defaults to the service's backend.
+    level:
+        Optional explicit detail level (an explicit quality budget).  When
+        ``None`` the service's LOD policy decides (full detail if there is
+        no policy); an out-of-range explicit level is an error.
     """
 
     scene_id: object
     camera: Camera
     backend: Optional[str] = None
+    level: Optional[int] = None
 
 
 @dataclass
@@ -90,6 +102,7 @@ class RenderResponse:
     from_cache: bool
     latency_s: float = 0.0
     frame_key: tuple = field(default=(), repr=False)
+    level: int = 0
 
     @property
     def image(self) -> np.ndarray:
@@ -123,6 +136,18 @@ class ResponseStreamStats:
     def num_rendered(self) -> int:
         """Requests that required a fresh render."""
         return self.num_requests - self.num_cache_hits
+
+    @property
+    def requests_by_level(self) -> dict:
+        """Requests served per detail level (``{level: count}``).
+
+        ``{0: num_requests}`` for a serve without LOD; multiple keys when a
+        LOD policy (or explicit request levels) split the stream.
+        """
+        counts: dict = {}
+        for response in self.responses:
+            counts[response.level] = counts.get(response.level, 0) + 1
+        return counts
 
     @property
     def requests_per_second(self) -> float:
@@ -192,11 +217,19 @@ class RenderService:
         Render settings applied to every request (uniform settings are what
         make same-scene batching and frame memoization sound).
     covariance_cache_bytes:
-        Byte budget of the per-scene world-space covariance LRU cache
-        (``0`` disables it, ``None`` unbounded).
+        Byte budget of the per-scene covariance LRU cache, keyed by
+        ``(scene, level)`` (``0`` disables it, ``None`` unbounded).
     frame_cache_bytes:
         Byte budget of the rendered-frame LRU cache (``0`` disables frame
         memoization, ``None`` unbounded).
+    lod_policy:
+        Optional budget-aware detail-level selection for requests that do
+        not pin a level themselves: ``None``/``"full"`` always serves full
+        detail, ``"footprint"`` picks the finest level justified by the
+        camera's screen-space scene footprint, or pass any object with a
+        ``select_level(store, scene_index, camera)`` method (see
+        :mod:`repro.compression.lod`).  Levels beyond 0 require a store
+        with LOD tiers (:class:`~repro.compression.store.CompressedSceneStore`).
     """
 
     def __init__(
@@ -208,6 +241,7 @@ class RenderService:
         collect_stats: bool = True,
         covariance_cache_bytes: Optional[int] = DEFAULT_COVARIANCE_CACHE_BYTES,
         frame_cache_bytes: Optional[int] = DEFAULT_FRAME_CACHE_BYTES,
+        lod_policy=None,
     ):
         if backend is not None and backend not in BACKENDS:
             raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
@@ -218,35 +252,67 @@ class RenderService:
         self.collect_stats = collect_stats
         self.covariance_cache = LRUByteCache(covariance_cache_bytes)
         self.frame_cache = LRUByteCache(frame_cache_bytes)
+        # Imported lazily so the serving layer has no hard dependency on
+        # the compression package (which itself builds on serving.store).
+        from repro.compression.lod import resolve_lod_policy
+
+        self.lod_policy = resolve_lod_policy(lod_policy)
 
     # ------------------------------------------------------------------ #
     # Caching helpers
     # ------------------------------------------------------------------ #
-    def scene_covariances(self, scene_index: int) -> Optional[np.ndarray]:
-        """World-space covariances of one scene, memoized across calls."""
-        cloud = self.store.get_cloud(scene_index)
-        if len(cloud) == 0:
+    def scene_covariances(
+        self, scene_index: int, level: int = 0, cloud=None
+    ) -> Optional[np.ndarray]:
+        """Covariances of one scene's detail level, memoized across calls.
+
+        ``cloud`` lets a caller that already holds the decoded level (e.g.
+        :meth:`serve`) avoid a second fetch: against a compressed store
+        ``get_cloud`` is a full O(N) decode, not a zero-copy view, and on a
+        cache hit no cloud is needed at all.
+        """
+        if self.store.level_sizes(scene_index)[level] == 0:
             return None
-        covariances = self.covariance_cache.get(scene_index)
+        covariances = self.covariance_cache.get((scene_index, level))
         if covariances is None:
+            if cloud is None:
+                cloud = self.store.get_cloud(scene_index, level)
             covariances = cloud.covariances()
             self.covariance_cache.put(
-                scene_index, covariances, covariances.nbytes
+                (scene_index, level), covariances, covariances.nbytes
             )
         return covariances
 
-    def _frame_key(self, scene_index: int, camera: Camera) -> tuple:
+    def _request_level(self, request: RenderRequest, scene_index: int) -> int:
+        """Detail level a request is served at (explicit, policy, or 0)."""
+        if request.level is not None:
+            level = int(request.level)
+            if not 0 <= level < self.store.num_levels(scene_index):
+                raise ValueError(
+                    f"request pins level {level} but scene {scene_index} "
+                    f"has {self.store.num_levels(scene_index)} levels"
+                )
+            return level
+        if self.lod_policy is None:
+            return 0
+        level = int(
+            self.lod_policy.select_level(self.store, scene_index, request.camera)
+        )
+        return min(max(level, 0), self.store.num_levels(scene_index) - 1)
+
+    def _frame_key(self, scene_index: int, level: int, camera: Camera) -> tuple:
         """Cache key identifying a rendered frame.
 
         The Stage-3 backend is deliberately *not* part of the key: the
         backends are bit-identical in FP64, so a frame rendered by either
-        one answers requests for both.
+        one answers requests for both.  The detail level *is* part of the
+        key — frames of different levels are different images.
         """
         pose = np.ascontiguousarray(camera.world_to_camera)
         return (
-            scene_index, camera.width, camera.height, camera.fx, camera.fy,
-            camera.cx, camera.cy, camera.znear, camera.zfar, pose.tobytes(),
-            self.sh_degree, self.background,
+            scene_index, level, camera.width, camera.height, camera.fx,
+            camera.fy, camera.cx, camera.cy, camera.znear, camera.zfar,
+            pose.tobytes(), self.sh_degree, self.background,
         )
 
     # ------------------------------------------------------------------ #
@@ -255,18 +321,18 @@ class RenderService:
     def serve(self, requests: Iterable[RenderRequest]) -> ServiceReport:
         """Serve a request stream and return the aggregate report.
 
-        Requests are grouped by (scene, backend) so each group pays the
-        scene-level preprocessing once; responses come back in request
-        order, each bit-identical to a standalone
-        :func:`repro.gaussians.pipeline.render` of its request.
+        Requests are grouped by (scene, backend, detail level) so each
+        group pays the scene-level preprocessing once; responses come back
+        in request order, each bit-identical to a standalone
+        :func:`repro.gaussians.pipeline.render` of its request at its level.
         """
         start = time.perf_counter()
         requests = list(requests)
         responses: List[Optional[RenderResponse]] = [None] * len(requests)
 
-        # Group request indices by (scene, backend), preserving first-seen
-        # group order so the stream is served roughly FIFO.
-        groups: "OrderedDict[Tuple[int, str], List[int]]" = OrderedDict()
+        # Group request indices by (scene, backend, level), preserving
+        # first-seen group order so the stream is served roughly FIFO.
+        groups: "OrderedDict[Tuple[int, str, int], List[int]]" = OrderedDict()
         for position, request in enumerate(requests):
             scene_index = self.store.resolve_index(request.scene_id)
             backend = request.backend or self.backend
@@ -274,10 +340,11 @@ class RenderService:
                 raise ValueError(
                     f"unknown backend {backend!r}; choose from {BACKENDS}"
                 )
-            groups.setdefault((scene_index, backend), []).append(position)
+            level = self._request_level(request, scene_index)
+            groups.setdefault((scene_index, backend, level), []).append(position)
 
         num_batches = 0
-        for (scene_index, backend), members in groups.items():
+        for (scene_index, backend, level), members in groups.items():
             # Answer repeated viewpoints from the frame cache; collect the
             # distinct frames that actually need rendering.  Duplicates of a
             # frame already pending in this call are deduplicated without
@@ -286,7 +353,7 @@ class RenderService:
             pending: "OrderedDict[tuple, List[int]]" = OrderedDict()
             for position in members:
                 request = requests[position]
-                key = self._frame_key(scene_index, request.camera)
+                key = self._frame_key(scene_index, level, request.camera)
                 if key in pending:
                     pending[key].append(position)
                     continue
@@ -295,12 +362,13 @@ class RenderService:
                     responses[position] = RenderResponse(
                         request=request, scene_index=scene_index,
                         result=cached, from_cache=True, frame_key=key,
+                        level=level,
                     )
                 else:
                     pending[key] = [position]
 
             if pending:
-                scene = self.store.get_scene(scene_index)
+                scene = self.store.get_scene(scene_index, level)
                 cameras = [
                     requests[positions[0]].camera
                     for positions in pending.values()
@@ -312,7 +380,9 @@ class RenderService:
                     sh_degree=self.sh_degree,
                     collect_stats=self.collect_stats,
                     backend=backend,
-                    covariances=self.scene_covariances(scene_index),
+                    covariances=self.scene_covariances(
+                        scene_index, level, cloud=scene.cloud
+                    ),
                 )
                 num_batches += 1
                 for (key, positions), result in zip(
@@ -329,6 +399,7 @@ class RenderService:
                             # answered by memoization.
                             from_cache=rank > 0,
                             frame_key=key,
+                            level=level,
                         )
 
             group_done = time.perf_counter() - start

@@ -75,6 +75,7 @@ def merge_cache_stats(stats: Sequence[CacheStats]) -> CacheStats:
         entries=sum(s.entries for s in stats),
         current_bytes=sum(s.current_bytes for s in stats),
         max_bytes=max_bytes if stats else None,
+        rejections=sum(s.rejections for s in stats),
     )
 
 
@@ -182,7 +183,7 @@ def _shard_worker_main(connection, store: SceneStore, service_kwargs: dict) -> N
 
     Protocol (request -> response over the pipe):
 
-    * ``("serve", [(local_scene_index, camera, backend), ...])`` ->
+    * ``("serve", [(local_scene_index, camera, backend, level), ...])`` ->
       ``("ok", ServiceReport)``
     * ``("reset",)`` -> ``("ok", None)`` after dropping both caches
     * ``("stats",)`` -> ``("ok", (covariance CacheStats, frame CacheStats))``
@@ -203,8 +204,11 @@ def _shard_worker_main(connection, store: SceneStore, service_kwargs: dict) -> N
         try:
             if command == "serve":
                 requests = [
-                    RenderRequest(scene_id=index, camera=camera, backend=backend)
-                    for index, camera, backend in message[1]
+                    RenderRequest(
+                        scene_id=index, camera=camera, backend=backend,
+                        level=level,
+                    )
+                    for index, camera, backend, level in message[1]
                 ]
                 connection.send(("ok", service.serve(requests)))
             elif command == "reset":
@@ -237,6 +241,12 @@ class ShardedRenderService:
         Per-shard :class:`~repro.serving.service.RenderService` settings.
     covariance_cache_bytes, frame_cache_bytes:
         Per-shard cache budgets (each worker owns a full budget).
+    lod_policy:
+        Per-shard detail-level policy (see
+        :class:`~repro.serving.service.RenderService`); levels beyond 0
+        need a store with LOD tiers, whose sub-stores carry the quantized
+        payloads verbatim (``SceneStore.build_substore``), so fleet frames
+        stay bit-identical to a single-worker serve.
     use_processes:
         ``True`` (default) runs each shard in its own ``multiprocessing``
         process; ``False`` keeps the shard services in-process, which shares
@@ -261,6 +271,7 @@ class ShardedRenderService:
         collect_stats: bool = True,
         covariance_cache_bytes: Optional[int] = DEFAULT_COVARIANCE_CACHE_BYTES,
         frame_cache_bytes: Optional[int] = DEFAULT_FRAME_CACHE_BYTES,
+        lod_policy=None,
         use_processes: bool = True,
         start_method: Optional[str] = None,
     ):
@@ -279,6 +290,7 @@ class ShardedRenderService:
             collect_stats=collect_stats,
             covariance_cache_bytes=covariance_cache_bytes,
             frame_cache_bytes=frame_cache_bytes,
+            lod_policy=lod_policy,
         )
 
         # Scene-affinity sharding: global scene i -> (owner shard, index in
@@ -294,9 +306,10 @@ class ShardedRenderService:
             self._local_index.append(len(self._scenes_of_shard[shard]))
             self._scenes_of_shard[shard].append(index)
 
+        # build_substore preserves the store's tier: a compressed store's
+        # shards carry the quantized payloads and LOD pyramids verbatim.
         sub_stores = [
-            SceneStore(store.get_scene(index) for index in indices)
-            for indices in self._scenes_of_shard
+            store.build_substore(indices) for indices in self._scenes_of_shard
         ]
 
         self._closed = False
@@ -389,6 +402,7 @@ class ShardedRenderService:
                     self._local_index[resolved[position]],
                     requests[position].camera,
                     requests[position].backend,
+                    requests[position].level,
                 )
                 for position in positions_of_shard[shard]
             ]
@@ -420,8 +434,11 @@ class ShardedRenderService:
         else:
             for shard in active:
                 local_requests = [
-                    RenderRequest(scene_id=index, camera=camera, backend=backend)
-                    for index, camera, backend in payloads[shard]
+                    RenderRequest(
+                        scene_id=index, camera=camera, backend=backend,
+                        level=level,
+                    )
+                    for index, camera, backend, level in payloads[shard]
                 ]
                 report = self._services[shard].serve(local_requests)
                 shard_results[shard] = report

@@ -58,6 +58,20 @@ def _grown(array: np.ndarray, rows: int) -> np.ndarray:
     return grown
 
 
+def bounding_sphere(positions: np.ndarray):
+    """Bounding sphere ``(center, radius)`` of ``(N, 3)`` points.
+
+    The single definition shared by every store tier — footprint-driven
+    LOD policies compare against it, so plain and compressed stores must
+    agree.  An empty point set reports a zero-radius sphere at the origin.
+    """
+    if len(positions) == 0:
+        return np.zeros(3), 0.0
+    center = positions.mean(axis=0)
+    radius = float(np.sqrt(((positions - center) ** 2).sum(axis=1).max()))
+    return center, radius
+
+
 class SceneStore:
     """Many Gaussian scenes in flattened arrays with amortized growth.
 
@@ -275,15 +289,101 @@ class SceneStore:
         """Append several scenes; returns their indices."""
         return [self.add_scene(scene) for scene in scenes]
 
+    def remove_scene(self, index: Union[int, str]) -> None:
+        """Remove a scene, compacting the flat arrays in place.
+
+        Every array row of later scenes shifts down to close the gap, so
+        the store stays densely packed and a removed scene's slot can be
+        reused by the next ``add_scene`` — this is what lets a compressed
+        tier replace an original scene without leaking its storage.
+
+        Compaction mutates the shared flat buffers, so **all previously
+        handed-out views become invalid** (they may now show other scenes'
+        data); re-fetch views after removing scenes.
+        """
+        index = self.resolve_index(index)
+        start = int(self._start[index])
+        length = int(self._length[index])
+        cam_start = int(self._cam_start[index])
+        cam_length = int(self._cam_length[index])
+        n, c, s = self._num_gaussians, self._num_cameras, self._num_scenes
+
+        for array in (
+            self._positions, self._scales, self._rotations,
+            self._opacities, self._sh,
+        ):
+            array[start : n - length] = array[start + length : n]
+        for array in (self._poses, self._intrinsics):
+            array[cam_start : c - cam_length] = array[cam_start + cam_length : c]
+
+        self._start[index : s - 1] = self._start[index + 1 : s] - length
+        self._length[index : s - 1] = self._length[index + 1 : s]
+        self._sh_k[index : s - 1] = self._sh_k[index + 1 : s]
+        self._cam_start[index : s - 1] = self._cam_start[index + 1 : s] - cam_length
+        self._cam_length[index : s - 1] = self._cam_length[index + 1 : s]
+        self._names.pop(index)
+        self._descriptors.pop(index)
+
+        self._num_gaussians -= length
+        self._num_cameras -= cam_length
+        self._num_scenes -= 1
+
+    def build_substore(self, indices: Iterable[Union[int, str]]) -> "SceneStore":
+        """Build a new store holding copies of the given scenes, in order.
+
+        Used by the sharded serving layer to hand each worker exactly the
+        scenes it owns; subclasses override it so a sub-store preserves the
+        parent's storage tier (e.g. quantized payloads and LOD pyramids).
+        """
+        return SceneStore(self.get_scene(index) for index in indices)
+
     # ------------------------------------------------------------------ #
     # Reading (zero-copy)
     # ------------------------------------------------------------------ #
-    def get_cloud(self, index: Union[int, str]) -> GaussianCloud:
+    def _check_level(self, index: int, level: int) -> int:
+        """Validate a detail level against :meth:`num_levels`."""
+        level = int(level)
+        if not 0 <= level < self.num_levels(index):
+            raise IndexError(
+                f"detail level {level} out of range for scene {index} "
+                f"({self.num_levels(index)} levels)"
+            )
+        return level
+
+    def num_levels(self, index: Union[int, str]) -> int:
+        """Detail levels available for scene ``index``.
+
+        A plain store holds only the full-detail representation, so this is
+        always 1; :class:`~repro.compression.store.CompressedSceneStore`
+        returns its LOD pyramid depth.
+        """
+        self.resolve_index(index)
+        return 1
+
+    def level_sizes(self, index: Union[int, str]) -> tuple:
+        """Gaussian count of each detail level, finest first."""
+        index = self.resolve_index(index)
+        return (int(self._length[index]),)
+
+    def scene_bounds(self, index: Union[int, str]):
+        """Bounding sphere ``(center, radius)`` of a scene's Gaussian centres.
+
+        Used by footprint-driven LOD policies; an empty scene reports a
+        zero-radius sphere at the origin.
+        """
+        index = self.resolve_index(index)
+        start = self._start[index]
+        stop = start + self._length[index]
+        return bounding_sphere(self._positions[start:stop])
+
+    def get_cloud(self, index: Union[int, str], level: int = 0) -> GaussianCloud:
         """Cloud of scene ``index`` as views into the flat arrays (O(1)).
 
         Valid until the next growth reallocation (see the class docstring).
+        ``level`` selects a detail level; a plain store only has level 0.
         """
         index = self.resolve_index(index)
+        self._check_level(index, level)
         start = self._start[index]
         stop = start + self._length[index]
         k = self._sh_k[index]
@@ -311,11 +411,14 @@ class SceneStore:
             )
         return cameras
 
-    def get_scene(self, index: Union[int, str]) -> GaussianScene:
-        """Scene ``index`` (or name) as a zero-copy view into the store."""
+    def get_scene(self, index: Union[int, str], level: int = 0) -> GaussianScene:
+        """Scene ``index`` (or name) as a zero-copy view into the store.
+
+        ``level`` selects a detail level; a plain store only has level 0.
+        """
         resolved = self.resolve_index(index)
         return GaussianScene(
-            cloud=self.get_cloud(resolved),
+            cloud=self.get_cloud(resolved, level=level),
             cameras=self.get_cameras(resolved),
             name=self._names[resolved],
             descriptor_name=self._descriptors[resolved],
@@ -380,8 +483,14 @@ class SceneStore:
         """
         version = metadata.get("format_version")
         if version != STORE_FORMAT_VERSION:
+            hint = ""
+            if version == 3:
+                hint = (
+                    "; this is a compressed archive — use "
+                    "repro.compression.CompressedSceneStore.load"
+                )
             raise ValueError(
-                f"unsupported scene store format version {version!r}"
+                f"unsupported scene store format version {version!r}{hint}"
             )
         store = cls.__new__(cls)
         store._positions = np.array(archive["positions"])

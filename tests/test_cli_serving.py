@@ -1,8 +1,9 @@
-"""End-to-end tests for the ``store`` and ``serve`` CLI subcommands."""
+"""End-to-end tests for the ``store``/``compress``/``serve`` CLI subcommands."""
 
 import pytest
 
 from repro.cli import main
+from repro.compression import CompressedSceneStore
 from repro.serving import SceneStore
 
 #: Small-scene arguments shared by every CLI invocation to keep tests fast.
@@ -31,6 +32,40 @@ class TestStoreCommand:
         out = capsys.readouterr().out
         assert f"archive: {archive}" in out
         assert "total: 3 scenes" in out
+
+
+class TestCompressCommand:
+    def test_build_prints_levels_and_ratio(self, capsys):
+        assert main(["compress", *SMALL, "--codec", "fp16"]) == 0
+        out = capsys.readouterr().out
+        assert "Levels (Gaussians)" in out
+        assert "cloud compression" in out and "4.0x" in out
+
+    def test_compress_archive_roundtrip(self, tmp_path, capsys):
+        plain = tmp_path / "fleet.npz"
+        compressed = tmp_path / "fleet-q.npz"
+        assert main(["store", *SMALL, "--output", str(plain)]) == 0
+        capsys.readouterr()
+        assert main([
+            "compress", "--store", str(plain), "--codec", "int8",
+            "--levels", "2", "--keep", "0.5", "--output", str(compressed),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "compressed store written to" in out
+        store = CompressedSceneStore.load(compressed)
+        assert store.codec == "int8"
+        assert store.num_levels(0) == 2
+        assert len(store) == 3
+
+        assert main(["compress", "--info", str(compressed)]) == 0
+        out = capsys.readouterr().out
+        assert "int8" in out and "total: 3 scenes" in out
+
+    def test_quality_report(self, capsys):
+        assert main(["compress", *SMALL, "--codec", "fp64", "--quality"]) == 0
+        out = capsys.readouterr().out
+        assert "Min PSNR (dB)" in out
+        assert "inf" in out  # the lossless tier's level 0 is exact
 
 
 class TestServeCommand:
@@ -98,3 +133,37 @@ class TestServeCommand:
     def test_workers_must_be_positive(self, capsys):
         assert main(["serve", *SMALL, "--workers", "0"]) == 2
         assert "--workers must be at least 1" in capsys.readouterr().err
+
+    def test_serve_with_lod(self, capsys):
+        assert main([
+            "serve", *SMALL, "--requests", "10", "--lod",
+            "--codec", "fp16", "--lod-levels", "3", "--lod-keep", "0.6",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "served 10 requests" in out
+        assert "detail levels served (footprint policy):" in out
+        assert "store compression" in out and "fp16" in out
+
+    def test_serve_lod_from_compressed_archive_with_hardware(
+        self, tmp_path, capsys
+    ):
+        archive = tmp_path / "q.npz"
+        assert main([
+            "compress", *SMALL, "--codec", "fp16", "--output", str(archive),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "serve", "--store", str(archive), "--requests", "8", "--lod",
+            "--hardware",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "served 8 requests" in out
+        assert "detail levels served" in out
+        assert "hardware model:" in out
+
+    def test_serve_lod_sharded(self, capsys):
+        assert main([
+            "serve", *SMALL, "--requests", "12", "--lod", "--workers", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "shard 0:" in out and "detail levels served" in out

@@ -1,0 +1,174 @@
+"""Property tests for the quantization codecs.
+
+The satellite contract of the compression subsystem: quantize->dequantize
+error stays within each field's *advertised* bound on randomized clouds,
+and the lossless tier round-trips ``np.array_equal``-identical.  Hypothesis
+drives the cloud generation so the bounds are exercised across sizes, SH
+degrees and value ranges rather than a single golden scene.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import (
+    CLOUD_FIELDS,
+    CODECS,
+    CompressedCloud,
+    compress_cloud,
+    decode_field,
+    encode_field,
+    raw_cloud_nbytes,
+)
+from repro.gaussians.gaussian import GaussianCloud
+from repro.gaussians.sh import num_sh_coeffs
+
+
+def _random_cloud(seed: int, n: int, degree: int, spread: float) -> GaussianCloud:
+    rng = np.random.default_rng(seed)
+    k = num_sh_coeffs(degree)
+    return GaussianCloud(
+        positions=rng.normal(size=(n, 3)) * spread,
+        scales=rng.uniform(1e-3, 2.0, size=(n, 3)) * max(spread, 0.1),
+        rotations=rng.normal(size=(n, 4)) + 1e-3,
+        opacities=rng.uniform(0.0, 1.0, size=n),
+        sh_coeffs=rng.normal(size=(n, k, 3)) * 2.0,
+    )
+
+
+cloud_params = st.tuples(
+    st.integers(min_value=0, max_value=2 ** 31 - 1),   # seed
+    st.integers(min_value=1, max_value=120),           # gaussians
+    st.integers(min_value=0, max_value=3),             # SH degree
+    st.floats(min_value=0.01, max_value=50.0),         # spatial spread
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(params=cloud_params)
+def test_lossless_roundtrip_is_identical(params):
+    """fp64 passthrough decodes np.array_equal-identical, bound 0."""
+    cloud = _random_cloud(*params)
+    compressed = compress_cloud(cloud, codec="fp64")
+    decoded = compressed.decode()
+    for name in CLOUD_FIELDS:
+        assert np.array_equal(getattr(decoded, name), getattr(cloud, name))
+        assert compressed.error_bounds[name] == 0.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(params=cloud_params, codec=st.sampled_from(["fp16", "int8"]))
+def test_lossy_roundtrip_within_advertised_bound(params, codec):
+    """Every field's decode error stays within its advertised bound."""
+    cloud = _random_cloud(*params)
+    compressed = compress_cloud(cloud, codec=codec)
+    decoded = compressed.decode()
+    for name in CLOUD_FIELDS:
+        error = np.max(
+            np.abs(getattr(decoded, name) - getattr(cloud, name)), initial=0.0
+        )
+        bound = compressed.error_bounds[name]
+        assert error <= bound, (
+            f"{codec}/{name}: error {error:g} exceeds advertised {bound:g}"
+        )
+
+
+@settings(max_examples=30, deadline=None)
+@given(params=cloud_params, codec=st.sampled_from(list(CODECS)))
+def test_decoded_cloud_is_valid(params, codec):
+    """Decoding always yields a constructible cloud (clamps hold)."""
+    cloud = _random_cloud(*params)
+    decoded = compress_cloud(cloud, codec=codec).decode()
+    assert len(decoded) == len(cloud)
+    assert np.all(decoded.scales > 0)
+    assert np.all((decoded.opacities >= 0) & (decoded.opacities <= 1))
+    # A decoded cloud must be renderable: covariances exist and are finite.
+    assert np.all(np.isfinite(decoded.covariances()))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2 ** 31 - 1),
+    n=st.integers(min_value=64, max_value=256),
+    degree=st.integers(min_value=0, max_value=3),
+)
+def test_compression_shrinks_payload(seed, n, degree):
+    """fp16 is ~4x and int8 ~8x smaller than the fp64 payload.
+
+    The int8 bar needs enough Gaussians that the per-channel affine
+    parameters amortize, hence the larger cloud sizes here.
+    """
+    cloud = _random_cloud(seed, n, degree, 1.0)
+    raw = raw_cloud_nbytes(len(cloud), cloud.sh_coeffs.shape[1])
+    fp16 = compress_cloud(cloud, codec="fp16").nbytes
+    int8 = compress_cloud(cloud, codec="int8").nbytes
+    assert compress_cloud(cloud, codec="fp64").nbytes == raw
+    assert fp16 == raw // 4
+    assert int8 < raw // 4  # payload /8 plus small affine parameters
+
+
+@settings(max_examples=20, deadline=None)
+@given(params=cloud_params, codec=st.sampled_from(list(CODECS)))
+def test_subset_decode_matches_full_decode(params, codec):
+    """decode(indices) equals decode().subset(indices) for every codec.
+
+    This is what lets a coarse LOD level decode only the rows it keeps.
+    """
+    cloud = _random_cloud(*params)
+    compressed = compress_cloud(cloud, codec=codec)
+    rng = np.random.default_rng(params[0])
+    indices = np.sort(
+        rng.choice(len(cloud), size=max(1, len(cloud) // 2), replace=False)
+    )
+    partial = compressed.decode(indices)
+    full = compressed.decode().subset(indices)
+    for name in CLOUD_FIELDS:
+        assert np.array_equal(getattr(partial, name), getattr(full, name))
+
+
+def test_constant_field_quantizes_exactly():
+    """A zero-range channel has step 0 and decodes bit-exact."""
+    values = np.full((10, 3), 1.25)
+    field = encode_field(values, "int8")
+    assert np.array_equal(decode_field(field), values)
+    assert field.error_bound < 1e-12
+
+
+def test_int8_parameters_are_per_channel():
+    """Channels with different ranges get independent affine parameters."""
+    values = np.stack(
+        [np.linspace(0, 1, 50), np.linspace(-100, 100, 50)], axis=1
+    )
+    field = encode_field(values, "int8")
+    assert field.offsets.shape == (2,)
+    decoded = decode_field(field)
+    # Per-channel steps keep the small channel precise despite the big one.
+    assert np.max(np.abs(decoded[:, 0] - values[:, 0])) < 0.01
+    assert np.max(np.abs(decoded - values)) <= field.error_bound
+
+
+def test_fp16_overflow_is_rejected():
+    with pytest.raises(ValueError, match="overflows fp16"):
+        encode_field(np.array([1e6]), "fp16")
+
+
+def test_unknown_codec_is_rejected():
+    with pytest.raises(ValueError, match="unknown codec"):
+        encode_field(np.zeros(3), "fp8")
+    with pytest.raises(ValueError, match="unknown codec"):
+        compress_cloud(_random_cloud(0, 5, 1, 1.0), codec="nope")
+
+
+def test_empty_cloud_roundtrip():
+    """Zero-Gaussian clouds encode and decode without special-casing."""
+    empty = GaussianCloud(
+        positions=np.zeros((0, 3)), scales=np.zeros((0, 3)),
+        rotations=np.zeros((0, 4)), opacities=np.zeros(0),
+        sh_coeffs=np.zeros((0, 1, 3)),
+    )
+    for codec in CODECS:
+        compressed = compress_cloud(empty, codec=codec)
+        assert isinstance(compressed, CompressedCloud)
+        assert len(compressed.decode()) == 0
+        assert all(bound == 0.0 for bound in compressed.error_bounds.values())

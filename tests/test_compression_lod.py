@@ -1,0 +1,172 @@
+"""Tests for importance scoring, LOD pyramids, and level-selection policies."""
+
+import numpy as np
+import pytest
+
+from repro.compression import (
+    BudgetLodPolicy,
+    CompressedSceneStore,
+    FootprintLodPolicy,
+    LodPyramid,
+    build_lod_pyramid,
+    geometric_importance_scores,
+    importance_scores,
+    rendered_importance_scores,
+    resolve_lod_policy,
+)
+from repro.gaussians.camera import Camera, look_at
+from repro.gaussians.gaussian import GaussianCloud
+from repro.gaussians.synthetic import SyntheticConfig, make_synthetic_scene
+
+
+def _scene(num_gaussians=300, seed=0, num_cameras=3):
+    config = SyntheticConfig(
+        num_gaussians=num_gaussians, width=64, height=48, seed=seed
+    )
+    return make_synthetic_scene(config, name=f"s{seed}", num_cameras=num_cameras)
+
+
+class TestImportanceScores:
+    def test_geometric_prefers_big_opaque_splats(self):
+        cloud = GaussianCloud(
+            positions=np.zeros((2, 3)),
+            scales=[[0.5, 0.5, 0.1], [0.01, 0.01, 0.01]],
+            rotations=[[1, 0, 0, 0]] * 2,
+            opacities=[0.9, 0.1],
+            sh_coeffs=np.zeros((2, 1, 3)),
+        )
+        scores = geometric_importance_scores(cloud)
+        assert scores[0] > scores[1]
+
+    def test_rendered_scores_are_blend_energy(self):
+        scene = _scene()
+        scores = rendered_importance_scores(scene.cloud, scene.cameras)
+        assert scores.shape == (scene.num_gaussians,)
+        assert np.all(scores >= 0)
+        assert scores.max() > 0  # something is visible
+
+    def test_rendered_scores_see_occlusion(self):
+        # A splat hidden behind an opaque near-identical twin must score
+        # lower than the twin despite identical geometry.
+        cloud = GaussianCloud(
+            positions=[[0.0, 0.0, 2.0], [0.0, 0.0, 4.0]],
+            scales=[[0.5, 0.5, 0.5]] * 2,
+            rotations=[[1, 0, 0, 0]] * 2,
+            opacities=[0.99, 0.99],
+            sh_coeffs=np.zeros((2, 1, 3)),
+        )
+        camera = Camera(width=32, height=32, fx=32, fy=32)
+        scores = rendered_importance_scores(cloud, [camera])
+        assert scores[0] > scores[1] * 2
+
+    def test_dispatch(self):
+        scene = _scene(num_gaussians=50)
+        assert np.array_equal(
+            importance_scores(scene.cloud),
+            geometric_importance_scores(scene.cloud),
+        )
+        assert np.array_equal(
+            importance_scores(scene.cloud, scene.cameras[0]),
+            rendered_importance_scores(scene.cloud, [scene.cameras[0]]),
+        )
+
+    def test_rendered_requires_cameras(self):
+        with pytest.raises(ValueError, match="at least one camera"):
+            rendered_importance_scores(_scene(num_gaussians=10).cloud, [])
+
+
+class TestLodPyramid:
+    def test_levels_are_nested_and_shrinking(self):
+        scene = _scene()
+        pyramid = build_lod_pyramid(
+            scene.cloud, cameras=scene.cameras, levels=4, keep_ratio=0.6
+        )
+        assert pyramid.num_levels == 4
+        assert pyramid.level_sizes[0] == scene.num_gaussians
+        previous = None
+        for level in range(4):
+            indices = pyramid.level_indices(level)
+            assert len(indices) == pyramid.level_sizes[level]
+            assert np.array_equal(indices, np.sort(indices))
+            if previous is not None:
+                assert set(indices) <= set(previous)
+                assert len(indices) < len(previous)
+            previous = indices
+
+    def test_deterministic(self):
+        scene = _scene()
+        a = build_lod_pyramid(scene.cloud, cameras=scene.cameras)
+        b = build_lod_pyramid(scene.cloud, cameras=scene.cameras)
+        assert np.array_equal(a.order, b.order)
+        assert a.level_sizes == b.level_sizes
+
+    def test_validation(self):
+        scene = _scene(num_gaussians=20)
+        with pytest.raises(ValueError, match="levels"):
+            build_lod_pyramid(scene.cloud, levels=0)
+        with pytest.raises(ValueError, match="keep_ratio"):
+            build_lod_pyramid(scene.cloud, keep_ratio=0.0)
+        pyramid = build_lod_pyramid(scene.cloud, levels=2)
+        with pytest.raises(IndexError):
+            pyramid.level_indices(2)
+        with pytest.raises(ValueError, match="non-increasing"):
+            LodPyramid(order=np.arange(3), level_sizes=(3, 1, 2))
+        with pytest.raises(ValueError, match="every Gaussian"):
+            LodPyramid(order=np.arange(3), level_sizes=(2,))
+
+    def test_tiny_cloud_keeps_at_least_one(self):
+        scene = _scene(num_gaussians=2)
+        pyramid = build_lod_pyramid(scene.cloud, levels=6, keep_ratio=0.5)
+        assert pyramid.level_sizes[-1] >= 1
+
+
+class TestPolicies:
+    @pytest.fixture()
+    def store(self):
+        return CompressedSceneStore(
+            [_scene(num_gaussians=400)], codec="fp16", levels=3, keep_ratio=0.7
+        )
+
+    def _camera_at(self, store, factor):
+        center, radius = store.scene_bounds(0)
+        eye = center - np.array([0.0, 0.0, 1.0]) * radius * factor
+        return Camera(
+            width=64, height=48, fx=58, fy=58,
+            world_to_camera=look_at(eye=eye, target=center),
+        )
+
+    def test_footprint_levels_monotonic_in_distance(self, store):
+        # 4 px/Gaussian: the 64x48 viewport justifies full detail up close
+        # (3072 / 4 = 768 > 400 Gaussians) and coarse tiers when far out.
+        policy = FootprintLodPolicy(pixels_per_gaussian=4.0)
+        levels = [
+            policy.select_level(store, 0, self._camera_at(store, factor))
+            for factor in (1.0, 2.0, 4.0, 8.0, 16.0)
+        ]
+        assert levels == sorted(levels), "farther must never mean finer"
+        assert levels[0] == 0
+        assert levels[-1] == store.num_levels(0) - 1
+
+    def test_budget_policy_picks_finest_fitting_level(self, store):
+        sizes = store.level_sizes(0)  # (400, 280, 196)
+        camera = self._camera_at(store, 1.0)
+        assert BudgetLodPolicy(sizes[0]).select_level(store, 0, camera) == 0
+        assert BudgetLodPolicy(sizes[1]).select_level(store, 0, camera) == 1
+        assert BudgetLodPolicy(50).select_level(store, 0, camera) == 2
+
+    def test_policy_resolution(self):
+        assert resolve_lod_policy(None) is None
+        assert resolve_lod_policy("full") is None
+        assert isinstance(resolve_lod_policy("footprint"), FootprintLodPolicy)
+        custom = BudgetLodPolicy(10)
+        assert resolve_lod_policy(custom) is custom
+        with pytest.raises(ValueError, match="unknown LOD policy"):
+            resolve_lod_policy("quantum")
+        with pytest.raises(TypeError, match="select_level"):
+            resolve_lod_policy(object())
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            FootprintLodPolicy(pixels_per_gaussian=0)
+        with pytest.raises(ValueError):
+            BudgetLodPolicy(max_gaussians=0)

@@ -21,7 +21,9 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 DOCS = REPO_ROOT / "docs"
 
 #: Packages covered by the docstring gate, with the coverage floor.
-GATED_PACKAGES = ("src/repro/serving", "src/repro/core")
+GATED_PACKAGES = (
+    "src/repro/serving", "src/repro/core", "src/repro/compression",
+)
 COVERAGE_THRESHOLD = 0.95
 
 
@@ -29,7 +31,8 @@ def test_architecture_doc_names_the_real_layers():
     text = (DOCS / "ARCHITECTURE.md").read_text()
     for anchor in (
         "repro.gaussians", "repro.hardware", "repro.serving", "repro.core",
-        "ShardedRenderService", "bit-identical", "Equivalence contracts",
+        "repro.compression", "ShardedRenderService", "CompressedSceneStore",
+        "bit-identical", "Equivalence contracts", "error bounds",
     ):
         assert anchor in text, f"ARCHITECTURE.md lost its {anchor!r} section"
 

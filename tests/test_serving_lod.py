@@ -1,0 +1,233 @@
+"""Serving-layer LOD integration: budget-aware levels through the stack.
+
+Pins the quality/equivalence contracts of the compression tier at the
+serving layer:
+
+* the lossless (fp64) tier renders **bit-identical** frames through
+  ``RenderService`` (and the sharded fleet);
+* explicit request levels and policy-chosen levels are honoured, recorded
+  on responses, and kept apart in the frame cache;
+* the sharded fleet serves compressed stores bit-identically to a single
+  worker, carrying quantized payloads verbatim into its sub-stores;
+* ``GauRastSystem.evaluate_trace`` reports hardware cycle and traffic
+  deltas per level.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.compression import (
+    BudgetLodPolicy,
+    CompressedSceneStore,
+    FootprintLodPolicy,
+)
+from repro.core import GauRastSystem
+from repro.gaussians.camera import Camera, look_at
+from repro.gaussians.pipeline import render
+from repro.gaussians.synthetic import SyntheticConfig, make_synthetic_scene
+from repro.serving import (
+    RenderService,
+    SceneStore,
+    ShardedRenderService,
+    generate_requests,
+)
+
+LEVELS = 3
+
+
+def _scenes(count=2, num_gaussians=200):
+    return [
+        make_synthetic_scene(
+            SyntheticConfig(
+                num_gaussians=num_gaussians, width=64, height=48, seed=seed
+            ),
+            name=f"scene-{seed}",
+            num_cameras=3,
+        )
+        for seed in range(count)
+    ]
+
+
+@pytest.fixture(scope="module")
+def workload():
+    scenes = _scenes()
+    plain = SceneStore(scenes)
+    compressed = CompressedSceneStore(
+        scenes, codec="fp16", levels=LEVELS, keep_ratio=0.6
+    )
+    trace = generate_requests(plain, 18, pattern="uniform", seed=4)
+    return scenes, plain, compressed, trace
+
+
+class TestLosslessTier:
+    def test_lossless_serving_is_bit_identical(self, workload):
+        scenes, plain, _, trace = workload
+        lossless = CompressedSceneStore(scenes, codec="fp64", levels=LEVELS)
+        reference = RenderService(plain).serve(trace)
+        compressed = RenderService(lossless).serve(trace)
+        assert compressed.num_requests == reference.num_requests
+        for mine, ref in zip(compressed.responses, reference.responses):
+            assert np.array_equal(mine.image, ref.image)
+            assert mine.level == 0
+
+    def test_lossless_sharded_fleet_is_bit_identical(self, workload):
+        scenes, plain, _, trace = workload
+        lossless = CompressedSceneStore(scenes, codec="fp64", levels=LEVELS)
+        reference = RenderService(plain).serve(trace)
+        with ShardedRenderService(
+            lossless, num_workers=2, use_processes=False
+        ) as fleet:
+            report = fleet.serve(trace)
+        for mine, ref in zip(report.responses, reference.responses):
+            assert np.array_equal(mine.image, ref.image)
+
+
+class TestExplicitLevels:
+    def test_response_level_and_image_match_the_level(self, workload):
+        _, _, compressed, trace = workload
+        service = RenderService(compressed)
+        for level in range(LEVELS):
+            request = dataclasses.replace(trace[0], level=level)
+            response = service.submit(request)
+            assert response.level == level
+            golden = render(
+                compressed.get_scene(response.scene_index, level),
+                camera=request.camera,
+            )
+            assert np.array_equal(response.image, golden.image)
+
+    def test_levels_do_not_cross_contaminate_the_frame_cache(self, workload):
+        _, _, compressed, trace = workload
+        service = RenderService(compressed)
+        fine = service.submit(dataclasses.replace(trace[0], level=0))
+        coarse = service.submit(dataclasses.replace(trace[0], level=2))
+        assert fine.frame_key != coarse.frame_key
+        assert not np.array_equal(fine.image, coarse.image)
+        # Serving the same (camera, level) again is a pure cache hit.
+        again = service.submit(dataclasses.replace(trace[0], level=2))
+        assert again.from_cache
+        assert np.array_equal(again.image, coarse.image)
+
+    def test_out_of_range_level_is_rejected(self, workload):
+        _, plain, compressed, trace = workload
+        with pytest.raises(ValueError, match="levels"):
+            RenderService(compressed).submit(
+                dataclasses.replace(trace[0], level=LEVELS)
+            )
+        # A plain store has exactly one level: only 0 is valid.
+        with pytest.raises(ValueError, match="levels"):
+            RenderService(plain).submit(
+                dataclasses.replace(trace[0], level=1)
+            )
+        ok = RenderService(plain).submit(
+            dataclasses.replace(trace[0], level=0)
+        )
+        assert ok.level == 0
+
+    def test_mixed_levels_group_separately(self, workload):
+        _, _, compressed, trace = workload
+        mixed = [
+            dataclasses.replace(request, level=position % LEVELS)
+            for position, request in enumerate(trace)
+        ]
+        report = RenderService(compressed).serve(mixed)
+        assert set(report.requests_by_level) == set(range(LEVELS))
+        for response, request in zip(report.responses, mixed):
+            assert response.level == request.level
+
+
+class TestPolicies:
+    def test_footprint_policy_serves_far_requests_coarser(self, workload):
+        _, _, compressed, trace = workload
+        center, radius = compressed.scene_bounds(0)
+        far_camera = Camera(
+            width=64, height=48, fx=58, fy=58,
+            world_to_camera=look_at(
+                eye=center - np.array([0.0, 0.0, 20.0]) * radius,
+                target=center,
+            ),
+        )
+        service = RenderService(
+            compressed, lod_policy=FootprintLodPolicy(pixels_per_gaussian=4.0)
+        )
+        near = service.submit(trace[0])
+        far = service.submit(
+            dataclasses.replace(trace[0], camera=far_camera)
+        )
+        assert far.level > near.level
+
+    def test_budget_policy_and_string_resolution(self, workload):
+        _, _, compressed, trace = workload
+        sizes = compressed.level_sizes(0)
+        service = RenderService(
+            compressed, lod_policy=BudgetLodPolicy(max_gaussians=sizes[1])
+        )
+        assert service.submit(trace[0]).level == 1
+        assert RenderService(compressed, lod_policy="full").lod_policy is None
+        assert RenderService(compressed, lod_policy="footprint").lod_policy \
+            is not None
+
+    def test_sharded_policy_matches_single_worker(self, workload):
+        _, _, compressed, trace = workload
+        policy = BudgetLodPolicy(max_gaussians=compressed.level_sizes(0)[2])
+        single = RenderService(compressed, lod_policy=policy).serve(trace)
+        with ShardedRenderService(
+            compressed, num_workers=2, lod_policy=policy,
+            use_processes=False,
+        ) as fleet:
+            sharded = fleet.serve(trace)
+        for mine, ref in zip(sharded.responses, single.responses):
+            assert mine.level == ref.level == 2
+            assert np.array_equal(mine.image, ref.image)
+
+    def test_sharded_process_mode_with_levels(self, workload):
+        _, _, compressed, trace = workload
+        short = [
+            dataclasses.replace(request, level=position % LEVELS)
+            for position, request in enumerate(trace[:6])
+        ]
+        single = RenderService(compressed).serve(short)
+        with ShardedRenderService(compressed, num_workers=2) as fleet:
+            sharded = fleet.serve(short)
+        for mine, ref in zip(sharded.responses, single.responses):
+            assert mine.level == ref.level
+            assert np.array_equal(mine.image, ref.image)
+
+
+class TestHardwareReplay:
+    def test_evaluate_trace_reports_per_level_deltas(self, workload):
+        _, _, compressed, trace = workload
+        mixed = [
+            dataclasses.replace(request, level=position % LEVELS)
+            for position, request in enumerate(trace)
+        ]
+        system = GauRastSystem()
+        evaluation = system.evaluate_trace(compressed, mixed)
+        assert set(evaluation.frames_by_level) == set(range(LEVELS))
+        assert sum(evaluation.frames_by_level.values()) == len(
+            evaluation.frame_reports
+        )
+        assert sum(evaluation.cycles_by_level.values()) == \
+            evaluation.served_cycles
+        for level in range(LEVELS):
+            assert evaluation.traffic_by_level[level] > 0
+            assert evaluation.mean_cycles_per_frame_by_level[level] > 0
+
+    def test_coarser_levels_cost_fewer_mean_cycles(self, workload):
+        # Same cameras served at every level: per-frame hardware cost must
+        # drop (or at worst stay flat) as detail is pruned.
+        _, _, compressed, trace = workload
+        cameras = [trace[0].camera, trace[1].camera]
+        system = GauRastSystem()
+        means = []
+        for level in range(LEVELS):
+            requests = [
+                dataclasses.replace(trace[0], camera=camera, level=level)
+                for camera in cameras
+            ]
+            evaluation = system.evaluate_trace(compressed, requests)
+            means.append(evaluation.mean_cycles_per_frame_by_level[level])
+        assert means[0] >= means[-1]
+        assert means[-1] < means[0] * 1.01  # pruning never *adds* work

@@ -79,6 +79,63 @@ class TestLRUByteCache:
         assert cache.current_bytes == 10
         assert cache.get("a") == 2
 
+    def test_oversized_put_is_counted_and_cannot_poison(self):
+        # Regression: an oversized put must not disturb resident entries,
+        # must not corrupt the byte accounting, and must be visible in the
+        # stats as a rejection.
+        cache = LRUByteCache(30)
+        cache.put("a", "A", 10)
+        cache.put("b", "B", 10)
+        cache.put("big", "X", 31)
+        assert "big" not in cache
+        assert cache.get("a") == "A" and cache.get("b") == "B"
+        stats = cache.stats()
+        assert stats.current_bytes == 20
+        assert stats.entries == 2
+        assert stats.rejections == 1
+        assert stats.evictions == 0
+        # The cache keeps working normally afterwards.
+        cache.put("c", "C", 10)
+        assert cache.get("c") == "C"
+        assert cache.current_bytes == 30
+
+    def test_oversized_put_evicts_the_stale_entry_under_its_key(self):
+        # Regression: if the key already held a (smaller) value, leaving it
+        # in place would hand later get() calls *outdated* data.  The stale
+        # entry must be evicted and its bytes returned to the budget.
+        cache = LRUByteCache(30)
+        cache.put("k", "old", 10)
+        cache.put("other", "O", 10)
+        cache.put("k", "too-big", 1000)
+        assert cache.get("k") is None, "stale value must not survive"
+        assert cache.get("other") == "O"
+        stats = cache.stats()
+        assert stats.current_bytes == 10
+        assert stats.entries == 1
+        assert stats.rejections == 1
+        assert stats.evictions == 1
+
+    def test_oversized_put_exact_budget_boundary(self):
+        # nbytes == max_bytes fits (evicting everything else); one more
+        # byte is rejected.
+        cache = LRUByteCache(10)
+        cache.put("fits", "F", 10)
+        assert cache.get("fits") == "F"
+        cache.put("fits", "F2", 11)
+        assert "fits" not in cache
+        assert cache.current_bytes == 0
+
+    def test_negative_nbytes_rejected(self):
+        cache = LRUByteCache(10)
+        with pytest.raises(ValueError, match="non-negative"):
+            cache.put("a", 1, -1)
+
+    def test_unbounded_cache_never_rejects(self):
+        cache = LRUByteCache(None)
+        cache.put("huge", "H", 1 << 60)
+        assert cache.get("huge") == "H"
+        assert cache.stats().rejections == 0
+
 
 class TestRenderService:
     def test_trace_is_bit_identical_to_per_request_renders(self, store):

@@ -184,6 +184,84 @@ class TestSceneStore:
             _assert_clouds_identical(store.get_cloud(index), scene.cloud)
 
 
+class TestRemoveScene:
+    def _store_and_scenes(self):
+        scenes = [
+            _scene(num_gaussians=40 + 15 * seed, sh_degree=seed % 3,
+                   seed=seed, num_cameras=1 + seed)
+            for seed in range(4)
+        ]
+        return SceneStore(scenes), scenes
+
+    @pytest.mark.parametrize("victim", [0, 1, 3, "scene-2"])
+    def test_survivors_are_intact_after_compaction(self, victim):
+        store, scenes = self._store_and_scenes()
+        removed = store.resolve_index(victim)
+        store.remove_scene(victim)
+        survivors = [s for i, s in enumerate(scenes) if i != removed]
+        assert len(store) == 3
+        assert store.names == [s.name for s in survivors]
+        for index, scene in enumerate(survivors):
+            _assert_scenes_identical(store.get_scene(index), scene)
+
+    def test_counters_and_bytes_shrink(self):
+        store, scenes = self._store_and_scenes()
+        before_bytes = store.nbytes
+        victim_bytes = store.scene_nbytes(2)
+        store.remove_scene(2)
+        assert store.num_gaussians == sum(
+            s.num_gaussians for i, s in enumerate(scenes) if i != 2
+        )
+        assert store.num_cameras == sum(
+            len(s.cameras) for i, s in enumerate(scenes) if i != 2
+        )
+        # Payload plus the five per-scene index slots are reclaimed.
+        assert store.nbytes == before_bytes - victim_bytes - 5 * 8
+
+    def test_slot_is_reusable_after_removal(self):
+        # The satellite scenario: a compressed tier replaces an original
+        # scene in place — remove, then add the replacement.
+        store, scenes = self._store_and_scenes()
+        replacement = _scene(num_gaussians=33, seed=9, name="replacement")
+        store.remove_scene(1)
+        index = store.add_scene(replacement)
+        assert index == 3
+        _assert_scenes_identical(store.get_scene(3), replacement)
+        _assert_scenes_identical(store.get_scene(0), scenes[0])
+        # Round-trips through persistence after compaction.
+        store2 = SceneStore(list(store))
+        assert store2.names == store.names
+
+    def test_remove_all_then_refill(self):
+        store, scenes = self._store_and_scenes()
+        for _ in range(len(scenes)):
+            store.remove_scene(0)
+        assert len(store) == 0
+        assert store.num_gaussians == 0
+        assert store.num_cameras == 0
+        store.add_scene(scenes[1])
+        _assert_scenes_identical(store.get_scene(0), scenes[1])
+
+    def test_save_load_after_removal(self, tmp_path):
+        store, scenes = self._store_and_scenes()
+        store.remove_scene(0)
+        path = store.save(tmp_path / "compacted.npz")
+        reloaded = SceneStore.load(path)
+        assert reloaded.names == store.names
+        for index in range(len(store)):
+            _assert_clouds_identical(
+                reloaded.get_cloud(index), store.get_cloud(index)
+            )
+
+    def test_invalid_removals(self):
+        store, _ = self._store_and_scenes()
+        with pytest.raises(IndexError):
+            store.remove_scene(4)
+        with pytest.raises(KeyError):
+            store.remove_scene("missing")
+        assert len(store) == 4  # failed removals change nothing
+
+
 class TestSceneIOWrappers:
     def test_save_scene_with_empty_camera_list(self, tmp_path):
         # Regression: np.stack over an empty camera list used to raise.
