@@ -1,0 +1,144 @@
+#!/usr/bin/env python
+"""Async render gateway: coalescing, backpressure and priority lanes.
+
+The scenario: the offline serving loop meets *online* traffic.  Thousands
+of users hit the deployment at once, most of them asking for the same hot
+viewpoints, and bursts can outrun the renderer.  The
+:class:`~repro.serving.gateway.RenderGateway` is the asyncio front end that
+absorbs this: concurrent duplicates share one in-flight render, a bounded
+admission queue applies an explicit overload policy instead of unbounded
+buffering, and hotspot traffic rides a high-priority lane.  The walkthrough:
+
+1. pack three synthetic scenes into a :class:`SceneStore` and draw a
+   duplicate-heavy hotspot request burst,
+2. serve it through the gateway and read the coalesce rate — most of the
+   burst never touches the renderer,
+3. check the frames are bit-identical to the synchronous
+   :class:`RenderService` serve of the same stream, in request order,
+4. overload a tiny queue under ``shed-oldest`` and ``reject`` and watch the
+   drop counters reconcile exactly with the stream,
+5. route hot-scene traffic onto the high-priority lane
+   (:func:`~repro.serving.traffic.popularity_priority`) while background
+   requests carry deadlines,
+6. replay the gateway-served trace on the cycle-level hardware model.
+
+Run with::
+
+    python examples/async_gateway.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import GauRastSystem
+from repro.gaussians.synthetic import SyntheticConfig, make_synthetic_scene
+from repro.serving import (
+    RenderGateway,
+    RenderService,
+    SceneStore,
+    generate_requests,
+    popularity_priority,
+)
+
+NUM_REQUESTS = 60
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ #
+    # 1. Three scenes, hotspot traffic: one scene absorbs ~80% of load.
+    # ------------------------------------------------------------------ #
+    store = SceneStore(
+        make_synthetic_scene(
+            SyntheticConfig(num_gaussians=400, width=96, height=72, seed=seed),
+            name=f"scene-{seed}",
+            num_cameras=4,
+        )
+        for seed in range(3)
+    )
+    trace = generate_requests(store, NUM_REQUESTS, pattern="hotspot", seed=5)
+    distinct = len({
+        (store.resolve_index(r.scene_id), r.camera.world_to_camera.tobytes())
+        for r in trace
+    })
+    print(f"burst: {len(trace)} concurrent requests over {len(store)} scenes, "
+          f"only {distinct} distinct frames (hotspot traffic)")
+
+    # ------------------------------------------------------------------ #
+    # 2. The gateway coalesces the duplicates in flight.
+    # ------------------------------------------------------------------ #
+    gateway = RenderGateway(RenderService(store), queue_depth=32)
+    report = gateway.serve(trace)
+    print(f"gateway: {report.num_completed}/{report.num_requests} completed "
+          f"in {report.wall_seconds * 1e3:.0f} ms, coalesce rate "
+          f"{report.coalesce_rate:.0%} ({report.num_coalesced} requests "
+          f"shared an in-flight render), {report.num_batches} batches, "
+          f"queue depth p95 {report.queue_depth_percentile(95):.0f}")
+
+    # ------------------------------------------------------------------ #
+    # 3. Frames are bit-identical to the synchronous path, in order.
+    # ------------------------------------------------------------------ #
+    reference = RenderService(store).serve(trace)
+    for position, (mine, ref) in enumerate(
+        zip(report.responses, reference.responses)
+    ):
+        if mine.request_id != position or not np.array_equal(
+            mine.image, ref.image
+        ):
+            raise SystemExit("gateway frame diverged from the sync service")
+    print("bit-identical to the synchronous serve, responses in request order")
+
+    # ------------------------------------------------------------------ #
+    # 4. Overload: bounded queues make drops explicit, never silent.
+    # ------------------------------------------------------------------ #
+    for policy in ("shed-oldest", "reject"):
+        tiny = RenderGateway(
+            RenderService(store), queue_depth=2, overload_policy=policy
+        )
+        overloaded = tiny.serve(trace)
+        assert (
+            overloaded.num_completed + overloaded.num_shed
+            + overloaded.num_rejected + overloaded.num_expired
+            == len(trace)
+        )
+        print(f"overload ({policy}, depth 2): "
+              f"{overloaded.num_completed} completed, "
+              f"{overloaded.num_shed} shed, "
+              f"{overloaded.num_rejected} rejected — counters reconcile")
+
+    # ------------------------------------------------------------------ #
+    # 5. Priority lanes + deadlines: hot traffic first, stale work dropped.
+    # ------------------------------------------------------------------ #
+    priority_of = popularity_priority(store, pattern="hotspot", seed=5)
+    laned = RenderGateway(
+        RenderService(store), queue_depth=32, priority_of=priority_of
+    )
+    laned_report = laned.serve(
+        trace,
+        # Low-priority (cold-scene) requests tolerate at most 10 s of
+        # queueing; hot-lane requests have no deadline.
+        deadlines=[None if priority_of(r) == 0 else 10.0 for r in trace],
+    )
+    lanes = {0: 0, 1: 0}
+    for response in laned_report.responses:
+        lanes[response.priority] += 1
+    print(f"priority lanes (hot scenes {sorted(priority_of.hot_scenes)}): "
+          f"{lanes[0]} requests rode the high lane, {lanes[1]} the normal "
+          f"lane, {laned_report.num_expired} expired past their deadline")
+
+    # ------------------------------------------------------------------ #
+    # 6. Hardware replay of the gateway-served trace.
+    # ------------------------------------------------------------------ #
+    system = GauRastSystem()
+    evaluation = system.evaluate_trace(
+        store, trace, gateway=RenderGateway(RenderService(store))
+    )
+    print(f"hardware model: {evaluation.naive_cycles} rasterizer cycles "
+          f"naive vs {evaluation.served_cycles} served "
+          f"({evaluation.hardware_speedup:.1f}x fewer), sustaining "
+          f"{evaluation.requests_per_second:.0f} req/s at "
+          f"{system.config.clock_hz / 1e6:.0f} MHz")
+
+
+if __name__ == "__main__":
+    main()

@@ -24,11 +24,16 @@ Seven subcommands cover the library's main flows::
     python -m repro serve [--requests N] [--store PATH] [--workers N]
                           [--traffic uniform|zipf|hotspot] [--seed N]
                           [--lod] [--codec C] [--naive] [--hardware]
+                          [--async] [--queue-depth N]
+                          [--overload-policy block|shed-oldest|reject]
         Serve a synthetic render-request trace through the RenderService
         (or, with --workers > 1, the sharded multi-process fleet) and report
         throughput, latency and cache statistics.  --seed makes the traffic
         deterministic, so a trace can be replayed exactly.  --lod serves
         from a compressed store with footprint-driven detail levels.
+        --async fronts the service with the RenderGateway (in-flight
+        coalescing, bounded admission queue, priority lanes) and reports
+        coalesce/shed/reject counters plus queue-depth percentiles.
 
     python -m repro experiments [NAME ...]
         Run the experiment harness (all experiments by default).
@@ -67,11 +72,14 @@ from repro.hardware.config import GauRastConfig, PROTOTYPE_CONFIG
 from repro.hardware.fp import Precision
 from repro.hardware.validation import validate_against_software
 from repro.serving import (
+    OVERLOAD_POLICIES,
     TRAFFIC_PATTERNS,
+    RenderGateway,
     RenderService,
     SceneStore,
     ShardedRenderService,
     generate_requests,
+    popularity_priority,
 )
 
 
@@ -197,6 +205,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="LOD pyramid depth under --lod")
     serve.add_argument("--lod-keep", type=float, default=DEFAULT_KEEP_RATIO,
                        help="per-level keep fraction under --lod")
+    serve.add_argument("--async", dest="use_async", action="store_true",
+                       help="serve through the asyncio RenderGateway: "
+                            "in-flight request coalescing, a bounded "
+                            "admission queue, and priority lanes")
+    serve.add_argument("--queue-depth", type=int, default=64,
+                       help="admission-queue bound of the async gateway")
+    serve.add_argument("--overload-policy", choices=OVERLOAD_POLICIES,
+                       default="block",
+                       help="what a full gateway queue does to new "
+                            "arrivals (block, shed-oldest, or reject)")
     serve.add_argument("--naive", action="store_true",
                        help="also time the naive per-request render loop")
     serve.add_argument("--hardware", action="store_true",
@@ -459,18 +477,94 @@ def _command_serve(args: argparse.Namespace) -> int:
     print(f"serving {len(trace)} requests over {len(store)} scenes "
           f"({store.num_cameras} viewpoints, traffic={args.traffic}, "
           f"seed={args.seed}, backend={args.backend}, "
-          f"workers={args.workers})")
+          f"workers={args.workers}"
+          + (", async gateway" if args.use_async else "") + ")")
 
+    gateway = None
     if args.workers > 1:
-        with ShardedRenderService(
+        service = ShardedRenderService(
             store, num_workers=args.workers, backend=args.backend,
             lod_policy=lod_policy,
-        ) as fleet:
-            report = fleet.serve(trace)
+        )
     else:
-        report = RenderService(
+        service = RenderService(
             store, backend=args.backend, lod_policy=lod_policy
-        ).serve(trace)
+        )
+    try:
+        if args.use_async:
+            priority_of = None
+            if args.traffic != "uniform":
+                # Hotspot/zipf traffic rides priority lanes derived from
+                # the same seeded popularity model the trace was drawn from.
+                priority_of = popularity_priority(
+                    store, pattern=args.traffic, seed=args.seed,
+                    zipf_exponent=args.zipf_exponent,
+                    hotspot_fraction=args.hotspot_fraction,
+                )
+            gateway = RenderGateway(
+                service, queue_depth=args.queue_depth,
+                overload_policy=args.overload_policy,
+                priority_of=priority_of,
+            )
+            report = gateway.serve(trace)
+            print(f"gateway: {report.num_completed}/{report.num_requests} "
+                  f"requests completed, coalesce rate "
+                  f"{report.coalesce_rate:.0%}, {report.num_shed} shed, "
+                  f"{report.num_rejected} rejected, "
+                  f"{report.num_expired} expired "
+                  f"(policy {report.overload_policy}, "
+                  f"depth {report.queue_depth})")
+            print(f"queue depth p50 "
+                  f"{report.queue_depth_percentile(50):.0f}, p95 "
+                  f"{report.queue_depth_percentile(95):.0f} over "
+                  f"{len(report.queue_depth_samples)} admissions")
+        else:
+            report = service.serve(trace)
+        _print_serve_report(args, store, report)
+
+        if args.naive:
+            start = time.perf_counter()
+            for request in trace:
+                functional_render(
+                    store.get_scene(request.scene_id), camera=request.camera,
+                    backend=args.backend, collect_stats=True,
+                )
+            naive_seconds = time.perf_counter() - start
+            naive_rps = len(trace) / naive_seconds
+            print(f"naive per-request loop: {naive_seconds * 1e3:.1f} ms "
+                  f"({naive_rps:.1f} req/s); serving layer is "
+                  f"{report.requests_per_second / naive_rps:.1f}x faster")
+
+        if args.hardware:
+            system = GauRastSystem()
+            if gateway is not None:
+                evaluation = system.evaluate_trace(store, trace, gateway=gateway)
+            else:
+                evaluation = system.evaluate_trace(
+                    store, trace, backend=args.backend, workers=args.workers,
+                    lod_policy=lod_policy,
+                )
+            print(f"hardware model: {evaluation.served_cycles} cycles served "
+                  f"vs {evaluation.naive_cycles} naive "
+                  f"({evaluation.hardware_speedup:.1f}x fewer cycles, "
+                  f"{evaluation.requests_per_second:.0f} req/s at "
+                  f"{system.config.clock_hz / 1e6:.0f} MHz)")
+            if args.lod and len(evaluation.frames_by_level) > 1:
+                for level in sorted(evaluation.frames_by_level):
+                    mean_cycles = evaluation.mean_cycles_per_frame_by_level[level]
+                    traffic = evaluation.traffic_by_level[level]
+                    frames = evaluation.frames_by_level[level]
+                    print(f"  level {level}: {frames} distinct frames, "
+                          f"{mean_cycles:.0f} cycles/frame, "
+                          f"{traffic / 1024.0:.0f} KiB traffic")
+    finally:
+        if args.workers > 1:
+            service.close()
+    return 0
+
+
+def _print_serve_report(args: argparse.Namespace, store, report) -> None:
+    """Shared throughput/latency/cache printout of the serve subcommand."""
     print(f"served {report.num_requests} requests in "
           f"{report.wall_seconds * 1e3:.1f} ms: "
           f"{report.requests_per_second:.1f} req/s, "
@@ -492,7 +586,9 @@ def _command_serve(args: argparse.Namespace) -> int:
         print(f"detail levels served (footprint policy): {levels}; "
               f"store compression {store.compression_ratio:.1f}x "
               f"({store.codec})")
-    if args.workers > 1:
+    # Per-shard breakdown exists only for a direct fleet serve (a gateway
+    # report aggregates its per-batch fleet reports away).
+    if args.workers > 1 and hasattr(report, "shards"):
         for shard in report.shards:
             scenes = ",".join(str(i) for i in shard.scene_indices) or "-"
             print(f"  shard {shard.shard_id}: scenes [{scenes}], "
@@ -504,40 +600,6 @@ def _command_serve(args: argparse.Namespace) -> int:
         print(f"fleet critical path {report.critical_path_seconds * 1e3:.1f} ms "
               f"-> {report.modeled_requests_per_second:.1f} req/s "
               f"with one core per worker")
-
-    if args.naive:
-        start = time.perf_counter()
-        for request in trace:
-            functional_render(
-                store.get_scene(request.scene_id), camera=request.camera,
-                backend=args.backend, collect_stats=True,
-            )
-        naive_seconds = time.perf_counter() - start
-        naive_rps = len(trace) / naive_seconds
-        print(f"naive per-request loop: {naive_seconds * 1e3:.1f} ms "
-              f"({naive_rps:.1f} req/s); serving layer is "
-              f"{report.requests_per_second / naive_rps:.1f}x faster")
-
-    if args.hardware:
-        system = GauRastSystem()
-        evaluation = system.evaluate_trace(
-            store, trace, backend=args.backend, workers=args.workers,
-            lod_policy=lod_policy,
-        )
-        print(f"hardware model: {evaluation.served_cycles} cycles served "
-              f"vs {evaluation.naive_cycles} naive "
-              f"({evaluation.hardware_speedup:.1f}x fewer cycles, "
-              f"{evaluation.requests_per_second:.0f} req/s at "
-              f"{system.config.clock_hz / 1e6:.0f} MHz)")
-        if args.lod and len(evaluation.frames_by_level) > 1:
-            for level in sorted(evaluation.frames_by_level):
-                mean_cycles = evaluation.mean_cycles_per_frame_by_level[level]
-                traffic = evaluation.traffic_by_level[level]
-                frames = evaluation.frames_by_level[level]
-                print(f"  level {level}: {frames} distinct frames, "
-                      f"{mean_cycles:.0f} cycles/frame, "
-                      f"{traffic / 1024.0:.0f} KiB traffic")
-    return 0
 
 
 def _command_experiments(args: argparse.Namespace) -> int:

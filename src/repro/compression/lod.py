@@ -265,16 +265,42 @@ class FootprintLodPolicy:
             raise ValueError("pixels_per_gaussian must be positive")
 
     def select_level(self, store, scene_index: int, camera: Camera) -> int:
-        """Level for one request (see the class docstring for the rule)."""
+        """Level for one request (see the class docstring for the rule).
+
+        The footprint is always finite and non-negative, whatever the
+        camera pose: a bounding sphere entirely behind the near plane has
+        zero footprint (nothing of the scene is visible, so the coarsest —
+        cheapest — level is served), a sphere *straddling* the camera
+        plane fills the view (full viewport footprint, full detail), and
+        only a sphere safely in front uses the projected-size formula.
+        Degenerate bounds (NaN/infinite centre or radius) also fall back
+        to the coarsest level rather than letting NaNs reach the level
+        comparison and select a garbage level.
+        """
         center, radius = store.scene_bounds(scene_index)
+        center = np.asarray(center, dtype=np.float64)
         viewport = float(camera.width * camera.height)
-        if radius <= 0.0:
+        if not (np.all(np.isfinite(center)) and np.isfinite(radius)):
+            footprint = 0.0
+        elif radius <= 0.0:
             footprint = viewport
         else:
-            distance = float(np.linalg.norm(camera.camera_center - center))
-            distance = max(distance, camera.znear)
-            focal = math.sqrt(camera.fx * camera.fy)
-            footprint = min(math.pi * (radius * focal / distance) ** 2, viewport)
+            depth = float(camera.to_camera_space(center)[0, 2])
+            if depth + radius <= camera.znear:
+                # Entirely behind the near plane: nothing visible.
+                footprint = 0.0
+            elif depth <= camera.znear:
+                # Straddling the camera plane: the scene fills the view.
+                footprint = viewport
+            else:
+                # Safely in front: EWA-style projected disc area, clamped
+                # to the viewport.
+                distance = float(np.linalg.norm(camera.camera_center - center))
+                distance = max(distance, camera.znear)
+                focal = math.sqrt(camera.fx * camera.fy)
+                footprint = min(
+                    math.pi * (radius * focal / distance) ** 2, viewport
+                )
         return _finest_level_within(
             store, scene_index, footprint / self.pixels_per_gaussian
         )

@@ -54,6 +54,7 @@ from repro.hardware.multi import FrameReport, ScaledGauRast
 from repro.hardware.power import EnergyModel
 from repro.profiling.workload import WorkloadStatistics
 from repro.scheduling.collaborative import schedule_frames
+from repro.serving.gateway import GatewayReport, RenderGateway
 from repro.serving.service import RenderRequest, RenderService, ServiceReport
 from repro.serving.sharded import FleetReport, ShardedRenderService
 from repro.serving.store import SceneStore
@@ -73,8 +74,11 @@ class TraceEvaluation:
     ----------
     service:
         The functional serving report (images, latencies, cache stats) — a
-        :class:`~repro.serving.service.ServiceReport` for a single worker or
-        a :class:`~repro.serving.sharded.FleetReport` for a sharded serve.
+        :class:`~repro.serving.service.ServiceReport` for a single worker, a
+        :class:`~repro.serving.sharded.FleetReport` for a sharded serve, or
+        a :class:`~repro.serving.gateway.GatewayReport` for a serve through
+        the async gateway (in which case shed/rejected/expired requests,
+        having produced no frame, are excluded from the hardware replay).
     frame_reports:
         Cycle-level report of each distinct frame, aligned with
         ``service.responses`` via ``request_cycles``.
@@ -87,7 +91,7 @@ class TraceEvaluation:
         ``frame_reports`` (all zeros for a serve without LOD).
     """
 
-    service: Union[ServiceReport, FleetReport]
+    service: Union[ServiceReport, FleetReport, GatewayReport]
     frame_reports: List[FrameReport]
     request_cycles: List[int]
     config: GauRastConfig
@@ -112,11 +116,15 @@ class TraceEvaluation:
 
     @property
     def requests_per_second(self) -> float:
-        """Requests the hardware sustains per second at the configured clock."""
+        """Requests the hardware sustains per second at the configured clock.
+
+        Counts the requests that actually received a frame (for a gateway
+        serve, drops cost no cycles and earn no throughput).
+        """
         if self.served_cycles == 0:
             return float("inf")
         seconds = self.served_cycles / self.config.clock_hz
-        return self.service.num_requests / seconds
+        return len(self.request_cycles) / seconds
 
     def _by_level(self, value_of) -> Dict[int, float]:
         """Aggregate a per-frame quantity over the frames of each level."""
@@ -329,6 +337,7 @@ class GauRastSystem:
         service: Optional[Union[RenderService, ShardedRenderService]] = None,
         workers: Optional[int] = None,
         lod_policy=None,
+        gateway: Optional[RenderGateway] = None,
     ) -> TraceEvaluation:
         """Serve a request trace and replay it on the hardware model.
 
@@ -354,10 +363,18 @@ class GauRastSystem:
         its own backend and background govern both the functional serve and
         the hardware replay; the ``backend``/``background``/``workers``/
         ``lod_policy`` arguments apply only when the service is created
-        here.
+        here.  A ``gateway`` (mutually exclusive with ``service``) serves
+        the trace through the async front end instead — coalescing and
+        batching change nothing in the replay because frames stay
+        bit-identical, but overload drops (shed/rejected/expired requests)
+        produced no frame and are therefore excluded from it.
         """
+        if gateway is not None and service is not None:
+            raise ValueError("pass either service= or gateway=, not both")
         owned_service = None
-        if service is None:
+        if gateway is not None:
+            service = gateway.service
+        elif service is None:
             if workers is not None and workers > 1:
                 service = owned_service = ShardedRenderService(
                     store, num_workers=workers, backend=backend,
@@ -373,7 +390,12 @@ class GauRastSystem:
         # frames used, or the two image sets would disagree.
         background = service.background
         try:
-            report = service.serve(requests)
+            if gateway is not None:
+                report = gateway.serve(requests)
+                served_responses = [r for r in report.responses if r.ok]
+            else:
+                report = service.serve(requests)
+                served_responses = report.responses
         finally:
             if owned_service is not None:
                 owned_service.close()
@@ -381,7 +403,7 @@ class GauRastSystem:
         distinct: Dict[tuple, FrameReport] = {}
         frame_levels: Dict[tuple, int] = {}
         request_cycles: List[int] = []
-        for response in report.responses:
+        for response in served_responses:
             frame = distinct.get(response.frame_key)
             if frame is None:
                 _, frame = self.rasterizer.simulate_frame(

@@ -34,7 +34,7 @@ bit-for-bit equivalence.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
@@ -83,6 +83,10 @@ class RasterStats:
     fragments_blended: int = 0
     tiles_processed: int = 0
     per_tile_gaussians: Dict[int, int] = field(default_factory=dict)
+    #: ``(tiles_x, tiles_y)`` of the grid the per-tile counters refer to
+    #: (set by :func:`rasterize_tiles`); ``None`` for hand-built stats and
+    #: for the non-tiled reference path.
+    grid_shape: Optional[Tuple[int, int]] = None
 
     @property
     def blend_fraction(self) -> float:
@@ -95,17 +99,40 @@ class RasterStats:
     def merged(cls, stats: Iterable["RasterStats"]) -> "RasterStats":
         """Aggregate counters over several frames (e.g. a camera batch).
 
-        ``per_tile_gaussians`` is summed per tile id, so for a multi-camera
-        batch over one grid it reports the total work each tile received.
+        When every input refers to the same tile grid (or none declares
+        one), ``per_tile_gaussians`` is summed per tile id, so for a
+        multi-camera batch over one grid it reports the total work each
+        tile received.  Across *different* grids a raw tile id means a
+        different screen region per camera, so summing by id would
+        silently conflate unrelated tiles; instead the merged counters are
+        namespaced by grid — keys become ``(tiles_x, tiles_y, tile_id)``
+        and the result's ``grid_shape`` is ``None``.  Mixing a known grid
+        with per-tile counters of an *unknown* grid cannot be namespaced
+        and raises ``ValueError``.
         """
+        items = list(stats)
+        shapes = {
+            item.grid_shape for item in items if item.per_tile_gaussians
+        }
+        mixed = len(shapes) > 1
+        if mixed and None in shapes:
+            raise ValueError(
+                "cannot merge per-tile counters across different tile "
+                "grids when some stats do not declare their grid_shape"
+            )
         total = cls()
-        for item in stats:
+        if not mixed and shapes:
+            (total.grid_shape,) = shapes
+        for item in items:
             total.fragments_evaluated += item.fragments_evaluated
             total.fragments_blended += item.fragments_blended
             total.tiles_processed += item.tiles_processed
             for tile_id, count in item.per_tile_gaussians.items():
-                total.per_tile_gaussians[tile_id] = (
-                    total.per_tile_gaussians.get(tile_id, 0) + count
+                key = (
+                    item.grid_shape + (tile_id,) if mixed else tile_id
+                )
+                total.per_tile_gaussians[key] = (
+                    total.per_tile_gaussians.get(key, 0) + count
                 )
         return total
 
@@ -427,7 +454,7 @@ def rasterize_tiles(
     grid = binning.grid
     background = np.asarray(background, dtype=np.float64).reshape(3)
     image = np.zeros((grid.height, grid.width, 3), dtype=np.float64)
-    stats = RasterStats()
+    stats = RasterStats(grid_shape=(grid.tiles_x, grid.tiles_y))
 
     # Pixels in tiles with no Gaussians still receive the background colour.
     image[:, :] = background

@@ -13,10 +13,16 @@ three tiers:
 * :class:`~repro.serving.sharded.ShardedRenderService` partitions the
   stream across N worker processes with scene affinity, merging per-shard
   results into a fleet-level report — frames stay bit-identical to the
-  single-worker service.
+  single-worker service;
+* :class:`~repro.serving.gateway.RenderGateway` is the asyncio front end
+  over either service: in-flight request coalescing, bounded admission
+  queues with configurable overload policies (block / shed-oldest /
+  reject), and priority lanes with deadline-aware dropping.
 
 :mod:`repro.serving.traffic` generates the seeded request streams (uniform
-/ zipf / hot-spot scene popularity) that drive benchmarks and the CLI.
+/ zipf / hot-spot scene popularity) that drive benchmarks and the CLI, and
+derives gateway lane assignments from the same popularity model
+(:func:`~repro.serving.traffic.popularity_priority`).
 
 Typical usage::
 
@@ -33,6 +39,12 @@ Typical usage::
 """
 
 from repro.serving.cache import CacheStats, LRUByteCache
+from repro.serving.gateway import (
+    OVERLOAD_POLICIES,
+    GatewayReport,
+    GatewayResponse,
+    RenderGateway,
+)
 from repro.serving.service import (
     RenderRequest,
     RenderResponse,
@@ -49,6 +61,7 @@ from repro.serving.store import SceneStore
 from repro.serving.traffic import (
     TRAFFIC_PATTERNS,
     generate_requests,
+    popularity_priority,
     scene_popularity,
     synthetic_request_trace,
 )
@@ -56,7 +69,11 @@ from repro.serving.traffic import (
 __all__ = [
     "CacheStats",
     "FleetReport",
+    "GatewayReport",
+    "GatewayResponse",
     "LRUByteCache",
+    "OVERLOAD_POLICIES",
+    "RenderGateway",
     "RenderRequest",
     "RenderResponse",
     "RenderService",
@@ -67,6 +84,7 @@ __all__ = [
     "TRAFFIC_PATTERNS",
     "generate_requests",
     "merge_cache_stats",
+    "popularity_priority",
     "scene_popularity",
     "synthetic_request_trace",
 ]

@@ -91,11 +91,17 @@ class LRUByteCache:
         cannot even fit.  The rejection is counted, and any *stale* value
         already cached under the same key is evicted (leaving it would make
         later ``get`` calls return outdated data), with its bytes returned
-        to the budget.
+        to the budget.  On an unbounded cache (``max_bytes=None``) nothing
+        is ever oversized, but a put under an existing key still replaces
+        the stale entry.  A disabled cache (``max_bytes=0``) stores
+        nothing; its dropped puts are counted as rejections so the
+        counters reveal that caching was requested but turned off, instead
+        of showing a cache that was simply never written to.
         """
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
         if self.max_bytes == 0:
+            self.rejections += 1
             return
         if self.max_bytes is not None and nbytes > self.max_bytes:
             self.rejections += 1

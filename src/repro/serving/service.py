@@ -419,6 +419,16 @@ class RenderService:
         """Serve a single request (sharing the service's caches)."""
         return self.serve([request]).responses[0]
 
+    def cache_stats(self) -> Tuple[CacheStats, CacheStats]:
+        """Current ``(covariance, frame)`` cache counters.
+
+        The shared cache-introspection surface of the serving layer:
+        :class:`~repro.serving.sharded.ShardedRenderService` exposes the
+        same method with fleet-merged counters, so callers (e.g. the async
+        gateway) need not care which tier they front.
+        """
+        return self.covariance_cache.stats(), self.frame_cache.stats()
+
     def reset_caches(self) -> None:
         """Drop both caches (fresh budgets, zeroed counters).
 

@@ -500,6 +500,22 @@ class ShardedRenderService:
         """Serve a single request through its owning shard."""
         return self.serve([request]).responses[0]
 
+    def cache_stats(self) -> Tuple[CacheStats, CacheStats]:
+        """Fleet-merged ``(covariance, frame)`` cache counters.
+
+        Mirrors :meth:`RenderService.cache_stats
+        <repro.serving.service.RenderService.cache_stats>` so gateway-style
+        callers can front either tier interchangeably.
+        """
+        self._check_open()
+        per_shard = [
+            self._idle_shard_stats(shard) for shard in range(self.num_workers)
+        ]
+        return (
+            merge_cache_stats([stats[0] for stats in per_shard]),
+            merge_cache_stats([stats[1] for stats in per_shard]),
+        )
+
     def reset_caches(self) -> None:
         """Drop every shard's caches (cold-trace benchmarking, tenant swap)."""
         self._check_open()

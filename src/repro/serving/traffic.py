@@ -90,6 +90,22 @@ def scene_popularity(
     return weights / weights.sum()
 
 
+def _eligible_scenes(store: SceneStore) -> List[int]:
+    """Store indices of the scenes traffic can target (those with cameras).
+
+    The single definition shared by :func:`generate_requests` and
+    :func:`popularity_priority` — both index :func:`scene_popularity` by
+    position in this list, which is what keeps the lane assignment
+    consistent with the streams the generator draws.
+    """
+    eligible = [
+        index for index in range(len(store)) if store.get_cameras(index)
+    ]
+    if not eligible:
+        raise ValueError("no scene in the store has cameras")
+    return eligible
+
+
 def generate_requests(
     store: SceneStore,
     num_requests: int,
@@ -117,11 +133,7 @@ def generate_requests(
         raise ValueError("num_requests must be non-negative")
     if len(store) == 0:
         raise ValueError("cannot build a trace against an empty store")
-    eligible = [
-        index for index in range(len(store)) if store.get_cameras(index)
-    ]
-    if not eligible:
-        raise ValueError("no scene in the store has cameras")
+    eligible = _eligible_scenes(store)
 
     popularity = scene_popularity(
         len(eligible),
@@ -148,6 +160,56 @@ def generate_requests(
             RenderRequest(scene_id=scene_index, camera=camera, backend=backend)
         )
     return requests
+
+
+def popularity_priority(
+    store: SceneStore,
+    pattern: str = "hotspot",
+    seed: int = 0,
+    zipf_exponent: float = DEFAULT_ZIPF_EXPONENT,
+    hotspot_fraction: float = DEFAULT_HOTSPOT_FRACTION,
+    hot_threshold: float = 2.0,
+):
+    """Gateway lane assignment derived from the traffic model.
+
+    Builds a ``request -> lane`` callable for
+    :class:`~repro.serving.gateway.RenderGateway`: requests for *hot*
+    scenes — those whose :func:`scene_popularity` share exceeds
+    ``hot_threshold`` times the uniform share — ride the high-priority
+    lane 0, everything else rides lane 1.  Under ``"hotspot"`` traffic this
+    maps the seeded hot scene (the bulk of the load, and the most
+    coalescible work) to the high lane; under ``"uniform"`` no scene
+    qualifies and every request rides the normal lane.
+
+    The popularity ranking is the same seeded function the request
+    generator uses, so the lane assignment is deterministic and consistent
+    with the traffic :func:`generate_requests` produces for the same
+    ``(pattern, seed)``.  The returned callable exposes the chosen scene
+    indices as its ``hot_scenes`` attribute.
+    """
+    if hot_threshold <= 0:
+        raise ValueError("hot_threshold must be positive")
+    eligible = _eligible_scenes(store)
+    popularity = scene_popularity(
+        len(eligible),
+        pattern=pattern,
+        seed=seed,
+        zipf_exponent=zipf_exponent,
+        hotspot_fraction=hotspot_fraction,
+    )
+    uniform_share = 1.0 / len(eligible)
+    hot_scenes = frozenset(
+        eligible[rank]
+        for rank in range(len(eligible))
+        if popularity[rank] > hot_threshold * uniform_share
+    )
+
+    def priority_of(request: RenderRequest) -> int:
+        """Lane of one request: 0 for hot scenes, 1 otherwise."""
+        return 0 if store.resolve_index(request.scene_id) in hot_scenes else 1
+
+    priority_of.hot_scenes = hot_scenes
+    return priority_of
 
 
 def synthetic_request_trace(

@@ -167,3 +167,53 @@ class TestServeCommand:
         ]) == 0
         out = capsys.readouterr().out
         assert "shard 0:" in out and "detail levels served" in out
+
+
+class TestServeAsyncGateway:
+    def test_async_serve_reports_gateway_counters(self, capsys):
+        assert main([
+            "serve", *SMALL, "--requests", "14", "--traffic", "hotspot",
+            "--seed", "3", "--async", "--queue-depth", "16",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "async gateway" in out
+        assert "gateway: 14/14 requests completed" in out
+        assert "coalesce rate" in out
+        assert "queue depth p50" in out
+        assert "policy block" in out
+        assert "served 14 requests" in out
+
+    def test_async_overload_policy_sheds(self, capsys):
+        assert main([
+            "serve", *SMALL, "--requests", "20", "--traffic", "uniform",
+            "--async", "--queue-depth", "1", "--overload-policy",
+            "shed-oldest",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "policy shed-oldest" in out
+        assert " shed, " in out
+
+    def test_async_seed_replay_is_deterministic(self, capsys):
+        # `serve --seed --async` replays the exact stream: the gateway's
+        # coalesce accounting (a pure function of the stream under a burst)
+        # comes out identical run over run.
+        args = ["serve", *SMALL, "--requests", "30", "--traffic", "hotspot",
+                "--async", "--seed", "9"]
+
+        def gateway_line():
+            assert main(args) == 0
+            out = capsys.readouterr().out
+            return [l for l in out.splitlines() if l.startswith("gateway:")]
+
+        assert gateway_line() == gateway_line()
+
+    def test_async_with_workers_and_hardware(self, capsys):
+        assert main([
+            "serve", *SMALL, "--requests", "10", "--workers", "2",
+            "--async", "--hardware",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "gateway: 10/10 requests completed" in out
+        assert "hardware model:" in out
+        # The per-shard breakdown belongs to the direct fleet serve only.
+        assert "shard 0:" not in out

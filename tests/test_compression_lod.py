@@ -1,7 +1,12 @@
 """Tests for importance scoring, LOD pyramids, and level-selection policies."""
 
+import functools
+
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
 
 from repro.compression import (
     BudgetLodPolicy,
@@ -24,6 +29,14 @@ def _scene(num_gaussians=300, seed=0, num_cameras=3):
         num_gaussians=num_gaussians, width=64, height=48, seed=seed
     )
     return make_synthetic_scene(config, name=f"s{seed}", num_cameras=num_cameras)
+
+
+@functools.lru_cache(maxsize=1)
+def _policy_store():
+    """A shared LOD store for the hypothesis pose sweep (built once)."""
+    return CompressedSceneStore(
+        [_scene(num_gaussians=400)], codec="fp16", levels=3, keep_ratio=0.7
+    )
 
 
 class TestImportanceScores:
@@ -170,3 +183,71 @@ class TestPolicies:
             FootprintLodPolicy(pixels_per_gaussian=0)
         with pytest.raises(ValueError):
             BudgetLodPolicy(max_gaussians=0)
+
+    def test_scene_behind_the_camera_serves_the_coarsest_level(self, store):
+        # Regression (PR 5): the bounding sphere entirely behind the near
+        # plane means nothing of the scene is visible; the footprint must
+        # clamp to zero (coarsest level), not blow up or go negative.
+        center, radius = store.scene_bounds(0)
+        eye = center - np.array([0.0, 0.0, 1.0]) * radius * 4.0
+        behind = Camera(
+            width=64, height=48, fx=58, fy=58,
+            # look *away* from the scene: the sphere sits at depth < 0.
+            world_to_camera=look_at(eye=eye, target=eye - (center - eye)),
+        )
+        policy = FootprintLodPolicy(pixels_per_gaussian=4.0)
+        assert policy.select_level(store, 0, behind) == store.num_levels(0) - 1
+
+    def test_camera_inside_the_scene_serves_full_detail(self, store):
+        # Straddling the camera plane (the camera sits inside the bounding
+        # sphere) fills the whole view: full detail, not a garbage level.
+        center, radius = store.scene_bounds(0)
+        inside = Camera(
+            width=64, height=48, fx=58, fy=58,
+            world_to_camera=look_at(
+                eye=center + np.array([0.0, 0.0, radius * 1e-3]),
+                target=center + np.array([0.0, 0.0, 1.0]),
+            ),
+        )
+        policy = FootprintLodPolicy(pixels_per_gaussian=4.0)
+        assert policy.select_level(store, 0, inside) == 0
+
+    def test_degenerate_bounds_fall_back_to_the_coarsest_level(self, store):
+        class _NanBoundsStore:
+            def scene_bounds(self, index):
+                return np.array([np.nan, 0.0, 0.0]), 1.0
+
+            def level_sizes(self, index):
+                return (400, 280, 196)
+
+        policy = FootprintLodPolicy(pixels_per_gaussian=4.0)
+        camera = self._camera_at(store, 1.0)
+        assert policy.select_level(_NanBoundsStore(), 0, camera) == 2
+
+    @given(
+        eye=hnp.arrays(np.float64, (3,), elements=st.floats(-30, 30)),
+        target=hnp.arrays(np.float64, (3,), elements=st.floats(-30, 30)),
+        pixels_per_gaussian=st.floats(0.5, 1e6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_footprint_level_is_always_valid_for_random_poses(
+        self, eye, target, pixels_per_gaussian
+    ):
+        # Property (PR 5): whatever the camera pose — scene in front,
+        # behind, or straddling the camera plane — the selected level is a
+        # valid integer level index, never NaN-driven garbage.
+        store = _policy_store()
+        direction = target - eye
+        if np.linalg.norm(direction) < 1e-6:
+            target = eye + np.array([0.0, 0.0, 1.0])
+        up = (0.0, 1.0, 0.0)
+        if np.linalg.norm(np.cross(target - eye, up)) < 1e-6:
+            up = (1.0, 0.0, 0.0)
+        camera = Camera(
+            width=64, height=48, fx=58, fy=58,
+            world_to_camera=look_at(eye=eye, target=target, up=up),
+        )
+        policy = FootprintLodPolicy(pixels_per_gaussian=pixels_per_gaussian)
+        level = policy.select_level(store, 0, camera)
+        assert isinstance(level, int)
+        assert 0 <= level < store.num_levels(0)

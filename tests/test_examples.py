@@ -22,6 +22,7 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 #: Examples fast enough to smoke-test on every run.
 SMOKE_EXAMPLES = (
     "lod_streaming.py",
+    "async_gateway.py",
 )
 
 _RUNS: dict = {}
@@ -50,6 +51,24 @@ def test_example_runs_green(example):
         f"{example} failed:\n{completed.stdout}\n{completed.stderr}"
     )
     assert completed.stdout.strip(), f"{example} printed nothing"
+
+
+def test_async_gateway_walkthrough_markers():
+    """The gateway example exercises coalescing, overload, and lanes."""
+    completed = _run_example("async_gateway.py")
+    assert completed.returncode == 0, completed.stderr
+    for marker in (
+        "coalesce rate",
+        "bit-identical to the synchronous serve",
+        "overload (shed-oldest, depth 2):",
+        "overload (reject, depth 2):",
+        "counters reconcile",
+        "priority lanes",
+        "hardware model:",
+    ):
+        assert marker in completed.stdout, (
+            f"missing {marker!r} in:\n{completed.stdout}"
+        )
 
 
 def test_lod_streaming_reports_levels():

@@ -136,6 +136,42 @@ class TestLRUByteCache:
         assert cache.get("huge") == "H"
         assert cache.stats().rejections == 0
 
+    def test_hit_rate_with_zero_lookups_is_zero(self):
+        # Regression (PR 5 audit): a cache that was never read must report
+        # a 0.0 hit rate, not divide by zero — both fresh and after writes.
+        assert LRUByteCache(100).stats().hit_rate == 0.0
+        written = LRUByteCache(100)
+        written.put("a", 1, 10)
+        assert written.stats().hit_rate == 0.0
+        assert LRUByteCache(0).stats().hit_rate == 0.0
+        assert LRUByteCache(None).stats().hit_rate == 0.0
+
+    def test_unbounded_put_replaces_stale_entry_under_same_key(self):
+        # Regression (PR 5 audit): with no byte bound there is no eviction
+        # pressure, but a put under an existing key must still replace the
+        # stale value — and the byte accounting must follow.
+        cache = LRUByteCache(None)
+        cache.put("k", "old", 40)
+        cache.put("k", "new", 10)
+        assert cache.get("k") == "new"
+        stats = cache.stats()
+        assert stats.entries == 1
+        assert stats.current_bytes == 10
+        assert stats.evictions == 0
+
+    def test_zero_budget_put_counts_a_rejection(self):
+        # Regression (PR 5): a disabled cache (max_bytes=0) stores nothing,
+        # but its dropped puts must be visible as rejections — otherwise
+        # the counters of a misconfigured deployment read as "cache never
+        # used" instead of "cache turned off".
+        cache = LRUByteCache(0)
+        cache.put("a", 1, 1)
+        cache.put("b", 2, 0)
+        stats = cache.stats()
+        assert stats.rejections == 2
+        assert stats.entries == 0
+        assert stats.current_bytes == 0
+
 
 class TestRenderService:
     def test_trace_is_bit_identical_to_per_request_renders(self, store):

@@ -253,3 +253,64 @@ class TestMergedStats:
         merged = RasterStats.merged([])
         assert merged.fragments_evaluated == 0
         assert merged.blend_fraction == 0.0
+
+    def test_merged_same_grid_keeps_raw_tile_ids(self):
+        # Same TileGrid shape on every input: tile id 0 means the same
+        # screen region everywhere, so raw-id summing is correct and the
+        # merged stats keep the shared shape.
+        first = RasterStats(per_tile_gaussians={0: 3}, grid_shape=(4, 3))
+        second = RasterStats(per_tile_gaussians={0: 2, 5: 1}, grid_shape=(4, 3))
+        merged = RasterStats.merged([first, second])
+        assert merged.per_tile_gaussians == {0: 5, 5: 1}
+        assert merged.grid_shape == (4, 3)
+
+    def test_merged_mixed_grids_namespaces_per_tile_counters(self):
+        # Regression (PR 5): summing by raw tile id across *different*
+        # grids silently conflated unrelated screen regions (tile 0 of a
+        # 4x3 grid is not tile 0 of an 8x6 grid).  Mixed-grid merges now
+        # namespace the keys by grid shape instead.
+        small = RasterStats(
+            fragments_evaluated=5, per_tile_gaussians={0: 3, 1: 4},
+            grid_shape=(4, 3),
+        )
+        large = RasterStats(
+            fragments_evaluated=7, per_tile_gaussians={0: 9},
+            grid_shape=(8, 6),
+        )
+        merged = RasterStats.merged([small, large])
+        assert merged.fragments_evaluated == 12
+        assert merged.per_tile_gaussians == {
+            (4, 3, 0): 3, (4, 3, 1): 4, (8, 6, 0): 9,
+        }
+        assert merged.grid_shape is None
+        # A second-stage merge of two namespaced results still sums their
+        # (grid, tile) keys correctly.
+        again = RasterStats.merged([merged, merged])
+        assert again.per_tile_gaussians[(8, 6, 0)] == 18
+
+    def test_merged_mixed_with_unknown_grid_raises(self):
+        known = RasterStats(per_tile_gaussians={0: 1}, grid_shape=(4, 3))
+        unknown = RasterStats(per_tile_gaussians={0: 1})
+        with pytest.raises(ValueError, match="grid"):
+            RasterStats.merged([known, unknown])
+
+    def test_mixed_resolution_batch_merges_without_conflation(self, synthetic_scene):
+        # The real producer of mixed grids: a render_batch over cameras of
+        # different resolutions.  Per-tile counters must come back
+        # namespaced, and per-camera stats must be untouched.
+        from repro.gaussians.camera import Camera
+        from repro.gaussians.pipeline import render_batch
+
+        small = Camera(width=32, height=24, fx=30.0, fy=30.0)
+        large = Camera(width=64, height=48, fx=60.0, fy=60.0)
+        batch = render_batch(synthetic_scene, cameras=[small, large])
+        shapes = {result.raster_stats.grid_shape for result in batch.results}
+        assert len(shapes) == 2
+        merged = batch.raster_stats
+        assert merged.grid_shape is None
+        assert all(len(key) == 3 for key in merged.per_tile_gaussians)
+        total = sum(
+            sum(result.raster_stats.per_tile_gaussians.values())
+            for result in batch.results
+        )
+        assert sum(merged.per_tile_gaussians.values()) == total
