@@ -1,0 +1,43 @@
+"""Perf smoke benchmark for the invariant linter (``repro lint``).
+
+The linter runs on every CI build over the whole tree, so its wall time is
+part of the build budget.  This benchmark lints the full ``src/repro``
+package — parse, all rules, cross-file ``RenderRequest`` resolution — and
+asserts both the perf bar and the CI gate property itself (zero findings
+on the live tree): a benchmark that is fast but finds violations means a
+regression landed without the lint gate catching it locally.
+
+Acceptance bar: a full-tree run stays under ``MAX_SECONDS`` (measured
+~0.5 s for ~100 files; the bound is deliberately loose for slow CI
+runners, and ``REPRO_RELAX_PERF_ASSERTS=1`` relaxes it entirely).
+"""
+
+import os
+from pathlib import Path
+
+from repro.analysis import lint_paths
+
+#: Upper bound on one full-tree lint, seconds (loose: ~10x the measured mean).
+MAX_SECONDS = 5.0
+
+#: The tree the CI gate lints.
+LINT_ROOT = str(Path(__file__).parent.parent / "src" / "repro")
+
+
+def test_bench_full_tree_lint(benchmark, record_info):
+    """Lint all of src/repro: the per-build cost of the invariant gate."""
+    findings, num_files = benchmark(lint_paths, [LINT_ROOT])
+
+    assert findings == [], "live tree must lint clean"
+    assert num_files >= 90
+
+    mean_seconds = benchmark.stats.stats.mean
+    record_info(
+        benchmark,
+        files_linted=num_files,
+        findings=len(findings),
+        mean_ms=mean_seconds * 1e3,
+        files_per_second=num_files / mean_seconds,
+    )
+    if not os.environ.get("REPRO_RELAX_PERF_ASSERTS"):
+        assert mean_seconds < MAX_SECONDS

@@ -1,0 +1,15 @@
+"""``python -m repro.analysis`` — run the invariant linter standalone.
+
+Identical behavior to the ``repro lint`` subcommand: both delegate to
+:func:`repro.analysis.runner.run`, so the exit-code contract (0 clean,
+1 findings, 2 internal error) holds for either entry point.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.runner import main
+
+if __name__ == "__main__":
+    sys.exit(main())

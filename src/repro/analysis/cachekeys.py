@@ -1,0 +1,164 @@
+"""Cache-key completeness rule: every key must carry every request dimension.
+
+The serving layer identifies work by tuple keys in three places — the frame
+cache (:meth:`RenderService._frame_key`), the gateway's in-flight
+coalescing (:meth:`RenderGateway._coalesce_key`), and the covariance cache
+(``covariance_cache.get/put`` with an inline ``(scene, level)`` tuple).
+A key that misses a request dimension silently serves the *wrong frame*:
+PR 4 and PR 5 each had to retrofit the new ``level`` dimension into keys
+after the fact, and ROADMAP item 4 (versioned scenes) will add an ``epoch``
+that every key must carry from day one.
+
+This rule makes that a build failure instead of a code review hope:
+
+1. the field set of the ``RenderRequest`` dataclass is resolved statically
+   from wherever it is defined in the linted tree;
+2. every key construction site is located — functions named ``*_key`` that
+   return a tuple literal, plus ``get``/``put`` calls on frame/covariance
+   caches whose key argument is an inline tuple;
+3. each site must mention every request field (via the identifier itself or
+   a registered equivalent: ``scene_id`` is covered by ``scene_index`` /
+   ``resolve_index``, ``camera`` by ``pose`` / ``world_to_camera``), minus
+   the site kind's *documented* exemptions below.
+
+Exemptions (each tied to a pinned equivalence contract, not convenience):
+
+* **frame keys** omit ``backend`` — the Stage-3 backends are bit-identical
+  in FP64 (golden-equivalence suite), so a frame rendered by either one
+  answers requests for both;
+* **covariance keys** omit ``backend`` and ``camera`` — world-space
+  covariances are camera- and backend-independent by construction.
+
+Adding a field to ``RenderRequest`` (e.g. ``epoch``) is in no exemption
+list, so the lint fails at every site until the new dimension is threaded
+through every key.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.analysis.core import Finding, ParsedModule, Project, Rule, register
+
+#: The request dataclass whose fields define the key dimensions.
+REQUEST_CLASS = "RenderRequest"
+
+#: Identifier tokens that count as covering a request dimension.  Any field
+#: not listed here (e.g. a future ``epoch``) must appear under its own name.
+DIMENSION_ALIASES: Dict[str, Set[str]] = {
+    "scene_id": {"scene_id", "scene_index", "scene", "resolve_index"},
+    "camera": {"camera", "pose", "world_to_camera"},
+    "backend": {"backend"},
+    "level": {"level"},
+}
+
+#: Request dimensions each kind of key site may omit, with the contract
+#: that justifies the omission (see the module docstring).
+KIND_EXEMPTIONS: Dict[str, Set[str]] = {
+    "frame": {"backend"},
+    "coalesce": set(),
+    "covariance": {"backend", "camera"},
+    "generic": set(),
+}
+
+
+def _site_kind(name: str) -> str:
+    """Classify a key site by its name (frame / coalesce / covariance)."""
+    lowered = name.lower()
+    for kind in ("coalesce", "frame", "covariance"):
+        if kind in lowered:
+            return kind
+    return "generic"
+
+
+def _expression_tokens(node: ast.AST) -> Set[str]:
+    """Every identifier mentioned in an expression (names and attributes)."""
+    tokens: Set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            tokens.add(sub.id)
+        elif isinstance(sub, ast.Attribute):
+            tokens.add(sub.attr)
+    return tokens
+
+
+def _attribute_chain(node: ast.AST) -> Set[str]:
+    """The attribute names along a ``a.b.c`` access chain."""
+    names: Set[str] = set()
+    while isinstance(node, ast.Attribute):
+        names.add(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        names.add(node.id)
+    return names
+
+
+def _key_sites(tree: ast.Module) -> List[Tuple[str, str, ast.AST, Set[str]]]:
+    """All key construction sites: ``(site name, kind, node, tokens)``.
+
+    Two shapes count as a site: a function whose name ends in ``_key``
+    returning a tuple literal (tokens come from every returned tuple), and
+    a ``<...>_cache.get/put`` call whose key argument is an inline tuple.
+    """
+    sites = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef) and node.name.endswith("_key"):
+            tokens: Set[str] = set()
+            returns_tuple = False
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Return) and isinstance(sub.value, ast.Tuple):
+                    returns_tuple = True
+                    tokens |= _expression_tokens(sub.value)
+            if returns_tuple:
+                sites.append((node.name, _site_kind(node.name), node, tokens))
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if not (isinstance(func, ast.Attribute) and func.attr in ("get", "put")):
+                continue
+            chain = _attribute_chain(func.value)
+            cache_names = {name for name in chain if name.endswith("_cache")}
+            if not cache_names or not node.args:
+                continue
+            key_argument = node.args[0]
+            if not isinstance(key_argument, ast.Tuple):
+                continue
+            cache_name = sorted(cache_names)[0]
+            sites.append((
+                f"{cache_name}.{func.attr}",
+                _site_kind(cache_name),
+                node,
+                _expression_tokens(key_argument),
+            ))
+    return sites
+
+
+@register
+class CacheKeyRule(Rule):
+    """Cross-check every cache/coalescing key against the request fields."""
+
+    id = "cache-key"
+    summary = (
+        "frame/coalescing/covariance keys must carry every RenderRequest "
+        "dimension (minus documented, contract-backed exemptions)"
+    )
+
+    def check(self, module: ParsedModule, project: Project) -> Iterator[Finding]:
+        """Yield a finding per key site per missing request dimension."""
+        fields = project.dataclass_fields(REQUEST_CLASS)
+        if not fields:
+            return
+        for name, kind, node, tokens in _key_sites(module.tree):
+            exempt = KIND_EXEMPTIONS[kind]
+            for dimension in fields:
+                if dimension in exempt:
+                    continue
+                aliases = DIMENSION_ALIASES.get(dimension, {dimension})
+                if aliases & tokens:
+                    continue
+                yield module.finding(
+                    self.id, node,
+                    f"key built by {name} is missing request dimension "
+                    f"{dimension!r}; every {kind} key must carry it (or "
+                    f"document an exemption in repro.analysis.cachekeys)",
+                )

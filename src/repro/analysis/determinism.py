@@ -1,0 +1,181 @@
+"""Determinism rule: all randomness must flow through seeded generators.
+
+The repo's golden tests rest on contract 5 of ``docs/ARCHITECTURE.md``:
+synthetic scenes and traffic streams are *pure functions of their seeds*.
+One unseeded draw anywhere under ``src/repro/`` breaks seeded-replay
+(``serve --seed`` would stop replaying the same trace) and turns golden
+tests flaky.  This rule therefore flags every randomness source that is not
+explicitly seeded:
+
+* ``np.random.default_rng()`` (and bare ``default_rng()``) called without a
+  seed — an unseeded generator draws from OS entropy;
+* unseeded NumPy bit generators (``PCG64()``, ``MT19937()``, ...);
+* *any* use of NumPy's legacy global-state API (``np.random.rand``,
+  ``np.random.seed``, ``np.random.shuffle``, ...) — even seeded, global
+  state leaks across call sites and makes replay order-dependent;
+* *any* use of the stdlib ``random`` module's global functions, and
+  ``random.Random()`` constructed without a seed.
+
+The fix is always the same shape: accept or construct a seeded
+``np.random.Generator`` (``np.random.default_rng(seed)``) and pass it down,
+as :mod:`repro.gaussians.synthetic` and :mod:`repro.serving.traffic` do.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.analysis.core import Finding, ParsedModule, Project, Rule, register
+
+#: NumPy bit-generator / generator constructors that take an optional seed
+#: and fall back to OS entropy without one.
+_SEEDABLE_CONSTRUCTORS = {
+    "default_rng", "PCG64", "PCG64DXSM", "MT19937", "Philox", "SFC64",
+    "SeedSequence", "RandomState",
+}
+
+#: Attributes of ``np.random`` that are part of the generator API (not the
+#: legacy global-state convenience functions) and are not themselves draws.
+_GENERATOR_API = _SEEDABLE_CONSTRUCTORS | {"Generator", "BitGenerator"}
+
+#: Stdlib ``random`` attributes that are safe to touch (classes the caller
+#: must still seed — ``Random()`` without arguments is flagged separately).
+_STDLIB_SAFE = {"Random", "SystemRandom", "getstate", "setstate"}
+
+
+def _call_is_seeded(call: ast.Call) -> bool:
+    """Whether a seedable constructor call carries an explicit seed."""
+    if call.args:
+        return True
+    return any(keyword.arg == "seed" for keyword in call.keywords)
+
+
+class _ImportTracker(ast.NodeVisitor):
+    """Collects the local aliases of the random-number modules/functions."""
+
+    def __init__(self) -> None:
+        self.numpy_aliases: Set[str] = set()
+        self.numpy_random_aliases: Set[str] = set()
+        self.stdlib_random_aliases: Set[str] = set()
+        self.direct_constructors: Set[str] = set()
+        self.direct_stdlib_functions: Set[str] = set()
+
+    def visit_Import(self, node: ast.Import) -> None:
+        """Track ``import numpy [as np]`` / ``import random [as rnd]``."""
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            if alias.name == "numpy" or alias.name.startswith("numpy."):
+                if alias.name == "numpy.random" and alias.asname:
+                    self.numpy_random_aliases.add(alias.asname)
+                else:
+                    self.numpy_aliases.add(local)
+            elif alias.name == "random":
+                self.stdlib_random_aliases.add(local)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        """Track ``from numpy.random import default_rng`` style imports."""
+        for alias in node.names:
+            local = alias.asname or alias.name
+            if node.module == "numpy" and alias.name == "random":
+                self.numpy_random_aliases.add(local)
+            elif node.module in ("numpy.random", "numpy.random._generator"):
+                if alias.name in _SEEDABLE_CONSTRUCTORS:
+                    self.direct_constructors.add(local)
+            elif node.module == "random":
+                if alias.name not in _STDLIB_SAFE:
+                    self.direct_stdlib_functions.add(local)
+
+
+@register
+class DeterminismRule(Rule):
+    """Flag unseeded or global-state randomness sources."""
+
+    id = "determinism"
+    summary = (
+        "randomness must come from explicitly seeded np.random.Generator "
+        "objects (seeded replay depends on it)"
+    )
+
+    def check(self, module: ParsedModule, project: Project) -> Iterator[Finding]:
+        """Yield a finding for every unseeded randomness source."""
+        imports = _ImportTracker()
+        imports.visit(module.tree)
+        relevant = (
+            imports.numpy_aliases or imports.numpy_random_aliases
+            or imports.stdlib_random_aliases or imports.direct_constructors
+            or imports.direct_stdlib_functions
+        )
+        if not relevant:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            finding = self._check_call(module, node, imports)
+            if finding is not None:
+                yield finding
+
+    def _check_call(self, module, call, imports):
+        """The finding for one call expression, or None."""
+        func = call.func
+        # Bare constructor calls: ``default_rng()`` after a from-import.
+        if isinstance(func, ast.Name):
+            if func.id in imports.direct_constructors:
+                if not _call_is_seeded(call):
+                    return module.finding(
+                        self.id, call,
+                        f"{func.id}() without a seed draws from OS entropy; "
+                        f"pass an explicit seed (e.g. {func.id}(seed))",
+                    )
+            elif func.id in imports.direct_stdlib_functions:
+                return module.finding(
+                    self.id, call,
+                    f"stdlib random.{func.id}() uses hidden global state; "
+                    f"use a seeded np.random.default_rng(seed) instead",
+                )
+            return None
+        if not isinstance(func, ast.Attribute):
+            return None
+        base = func.value
+        # ``np.random.<fn>(...)`` — base is the attribute ``<numpy>.random``.
+        is_np_random = (
+            isinstance(base, ast.Attribute)
+            and base.attr == "random"
+            and isinstance(base.value, ast.Name)
+            and base.value.id in imports.numpy_aliases
+        ) or (
+            isinstance(base, ast.Name)
+            and base.id in imports.numpy_random_aliases
+        )
+        if is_np_random:
+            if func.attr in _SEEDABLE_CONSTRUCTORS:
+                if not _call_is_seeded(call):
+                    return module.finding(
+                        self.id, call,
+                        f"np.random.{func.attr}() without a seed draws from "
+                        f"OS entropy; pass an explicit seed",
+                    )
+            elif func.attr not in _GENERATOR_API:
+                return module.finding(
+                    self.id, call,
+                    f"np.random.{func.attr}() uses the legacy global-state "
+                    f"API; draw from a seeded np.random.default_rng(seed) "
+                    f"generator instead",
+                )
+            return None
+        # ``random.<fn>(...)`` on the stdlib module.
+        if isinstance(base, ast.Name) and base.id in imports.stdlib_random_aliases:
+            if func.attr == "Random":
+                if not _call_is_seeded(call):
+                    return module.finding(
+                        self.id, call,
+                        "random.Random() without a seed draws from OS "
+                        "entropy; pass an explicit seed",
+                    )
+            elif func.attr not in _STDLIB_SAFE:
+                return module.finding(
+                    self.id, call,
+                    f"stdlib random.{func.attr}() uses hidden global state; "
+                    f"use a seeded np.random.default_rng(seed) instead",
+                )
+        return None

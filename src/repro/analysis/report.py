@@ -1,0 +1,98 @@
+"""Reporters for lint results: human-readable text and machine-usable JSON.
+
+The JSON schema (version 1) is stable for CI consumption::
+
+    {
+      "version": 1,
+      "summary": {
+        "files": <int>,        # files scanned
+        "findings": <int>,     # findings excluding baselined ones
+        "baselined": <int>,    # grandfathered findings (reported, not new)
+        "clean": <bool>        # findings == 0
+      },
+      "findings": [
+        {
+          "rule": "<rule id>",
+          "path": "<file>",
+          "line": <int>, "col": <int>,
+          "message": "<description>",
+          "fingerprint": "<16-hex>",
+          "baselined": <bool>
+        }, ...
+      ]
+    }
+
+Exit-code policy (enforced by :mod:`repro.analysis.runner`): 0 when
+``summary.clean`` is true, 1 when findings exist, 2 on analyzer-internal
+errors (unknown rule, unreadable path, bad baseline).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Sequence
+
+from repro.analysis.core import Finding
+
+#: Version tag of the JSON report schema.
+JSON_SCHEMA_VERSION = 1
+
+
+def _summary(findings: Sequence[Finding], num_files: int) -> dict:
+    """The summary block shared by both reporters."""
+    new = [finding for finding in findings if not finding.baselined]
+    return {
+        "files": num_files,
+        "findings": len(new),
+        "baselined": len(findings) - len(new),
+        "clean": not new,
+    }
+
+
+def render_text(findings: Sequence[Finding], num_files: int) -> str:
+    """Render findings as ``path:line:col: rule: message`` lines + summary."""
+    lines: List[str] = [finding.format() for finding in findings]
+    summary = _summary(findings, num_files)
+    if summary["clean"]:
+        lines.append(
+            f"repro lint: clean — {summary['files']} files, 0 findings"
+            + (
+                f" ({summary['baselined']} baselined)"
+                if summary["baselined"]
+                else ""
+            )
+        )
+    else:
+        lines.append(
+            f"repro lint: {summary['findings']} finding(s) in "
+            f"{summary['files']} files"
+            + (
+                f" (+{summary['baselined']} baselined)"
+                if summary["baselined"]
+                else ""
+            )
+        )
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding], num_files: int) -> str:
+    """Render findings in the documented JSON schema (version 1)."""
+    return json.dumps(
+        {
+            "version": JSON_SCHEMA_VERSION,
+            "summary": _summary(findings, num_files),
+            "findings": [
+                {
+                    "rule": finding.rule,
+                    "path": finding.path,
+                    "line": finding.line,
+                    "col": finding.col,
+                    "message": finding.message,
+                    "fingerprint": finding.fingerprint,
+                    "baselined": finding.baselined,
+                }
+                for finding in findings
+            ],
+        },
+        indent=2,
+    )

@@ -1,0 +1,130 @@
+"""Repr-hygiene rule: dataclass reprs must never embed ndarray payloads.
+
+A dataclass's generated ``__repr__`` recursively formats every field.  For
+fields holding NumPy arrays (or containers of them) that is not just noisy
+— it is a *performance landmine*: PR 5 debugged a ~6-second stall that was
+asyncio's own task repr pretty-printing the frames inside a gathered
+``GatewayResponse`` list.  Any code path that can end up in a log line,
+debugger, f-string or exception message (i.e. any dataclass) must keep
+array payloads out of its repr.
+
+The rule flags every ``@dataclass`` field whose declared type mentions
+``ndarray`` (including ``Optional[np.ndarray]`` and containers like
+``Dict[int, np.ndarray]``, and string annotations) unless one of the
+accepted remedies is present:
+
+* the field opts out via ``field(repr=False)``;
+* the class defines its own ``__repr__`` (summaries like
+  ``GaussianCloud(num_gaussians=...)`` are encouraged);
+* the ``@dataclass(repr=False)`` decorator disables repr generation.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.core import Finding, ParsedModule, Project, Rule, register
+
+
+def _dataclass_decorator(node: ast.ClassDef) -> Optional[ast.AST]:
+    """The ``@dataclass`` decorator node of a class, or None."""
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return decorator
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return decorator
+    return None
+
+
+def _decorator_disables_repr(decorator: ast.AST) -> bool:
+    """Whether the decorator is ``@dataclass(repr=False)``."""
+    if not isinstance(decorator, ast.Call):
+        return False
+    return any(
+        keyword.arg == "repr"
+        and isinstance(keyword.value, ast.Constant)
+        and keyword.value.value is False
+        for keyword in decorator.keywords
+    )
+
+
+def _annotation_mentions_ndarray(annotation: ast.AST) -> bool:
+    """Whether a field annotation references ``ndarray`` anywhere.
+
+    Covers plain ``np.ndarray``, ``Optional[np.ndarray]``, containers like
+    ``Dict[int, np.ndarray]``, and string ("quoted") annotations.
+    """
+    for node in ast.walk(annotation):
+        if isinstance(node, ast.Attribute) and node.attr == "ndarray":
+            return True
+        if isinstance(node, ast.Name) and node.id == "ndarray":
+            return True
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            if "ndarray" in node.value:
+                return True
+    return False
+
+
+def _field_excludes_repr(value: Optional[ast.AST]) -> bool:
+    """Whether the field default is ``field(..., repr=False)``."""
+    if not isinstance(value, ast.Call):
+        return False
+    target = value.func
+    is_field = (
+        isinstance(target, ast.Name) and target.id == "field"
+    ) or (
+        isinstance(target, ast.Attribute) and target.attr == "field"
+    )
+    if not is_field:
+        return False
+    return any(
+        keyword.arg == "repr"
+        and isinstance(keyword.value, ast.Constant)
+        and keyword.value.value is False
+        for keyword in value.keywords
+    )
+
+
+@register
+class ReprHygieneRule(Rule):
+    """Flag dataclass ndarray fields that leak into the generated repr."""
+
+    id = "repr-hygiene"
+    summary = (
+        "dataclass ndarray fields must be field(repr=False) or the class "
+        "must define __repr__ (array reprs stall logs and debuggers)"
+    )
+
+    def check(self, module: ParsedModule, project: Project) -> Iterator[Finding]:
+        """Yield a finding per ndarray field exposed in a dataclass repr."""
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            decorator = _dataclass_decorator(node)
+            if decorator is None or _decorator_disables_repr(decorator):
+                continue
+            defines_repr = any(
+                isinstance(member, ast.FunctionDef)
+                and member.name == "__repr__"
+                for member in node.body
+            )
+            if defines_repr:
+                continue
+            for member in node.body:
+                if not isinstance(member, ast.AnnAssign):
+                    continue
+                if not isinstance(member.target, ast.Name):
+                    continue
+                if not _annotation_mentions_ndarray(member.annotation):
+                    continue
+                if _field_excludes_repr(member.value):
+                    continue
+                yield module.finding(
+                    self.id, member,
+                    f"dataclass field {node.name}.{member.target.id} holds "
+                    f"an ndarray but is included in the generated __repr__; "
+                    f"mark it field(repr=False) or define a summary "
+                    f"__repr__ (array reprs can stall logs for seconds)",
+                )

@@ -1,0 +1,189 @@
+"""File discovery and the ``repro lint`` / ``python -m repro.analysis`` CLI.
+
+The runner turns paths into :class:`~repro.analysis.core.ParsedModule`
+objects, runs the registered rules over them as one project (so cross-file
+resolution like the cache-key rule's ``RenderRequest`` lookup sees every
+file), and renders the findings through :mod:`repro.analysis.report`.
+
+Exit codes are part of the contract (CI and pre-commit hooks consume
+them): **0** clean, **1** at least one non-baselined finding, **2**
+analyzer-internal error (unknown rule, unreadable path, malformed
+baseline).  A file that fails to *parse* is reported as a ``parse-error``
+finding (exit 1) — a broken target is a property of the tree, not of the
+analyzer.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.core import (
+    Baseline,
+    Finding,
+    ParsedModule,
+    lint_modules,
+    resolve_rules,
+    RULES,
+)
+from repro.analysis.report import render_json, render_text
+
+#: Directory names never descended into during discovery.
+_SKIPPED_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache"}
+
+
+def default_paths() -> List[str]:
+    """The default lint target: the installed ``repro`` package tree."""
+    import repro
+
+    return [str(Path(repro.__file__).parent)]
+
+
+def iter_python_files(paths: Iterable[str]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: List[Path] = []
+    for entry in paths:
+        path = Path(entry)
+        if not path.exists():
+            raise FileNotFoundError(f"lint target does not exist: {entry}")
+        if path.is_dir():
+            files.extend(
+                candidate
+                for candidate in sorted(path.rglob("*.py"))
+                if not any(
+                    part in _SKIPPED_DIRS or part.startswith(".")
+                    for part in candidate.parts
+                )
+            )
+        else:
+            files.append(path)
+    return files
+
+
+def load_modules(
+    files: Sequence[Path],
+) -> Tuple[List[ParsedModule], List[Finding]]:
+    """Parse files into modules; syntax errors become ``parse-error`` findings."""
+    modules: List[ParsedModule] = []
+    errors: List[Finding] = []
+    for path in files:
+        source = path.read_text()
+        try:
+            modules.append(ParsedModule(path, source))
+        except SyntaxError as error:
+            errors.append(
+                Finding(
+                    rule="parse-error",
+                    path=str(path),
+                    line=error.lineno or 1,
+                    col=error.offset or 0,
+                    message=f"file does not parse: {error.msg}",
+                )
+            )
+    return modules, errors
+
+
+def lint_paths(
+    paths: Optional[Sequence[str]] = None,
+    rules: Optional[Sequence[str]] = None,
+    baseline: Optional[str] = None,
+) -> Tuple[List[Finding], int]:
+    """Lint files/directories and return ``(findings, files scanned)``.
+
+    ``rules`` optionally restricts the run to the named rule ids;
+    ``baseline`` optionally points at a JSON baseline file whose
+    fingerprints are reported as grandfathered rather than new.
+    """
+    files = iter_python_files(paths if paths else default_paths())
+    modules, errors = load_modules(files)
+    fingerprints = Baseline.load(baseline).fingerprints if baseline else None
+    findings = lint_modules(
+        modules, rules=resolve_rules(rules), baseline=fingerprints
+    )
+    findings.extend(errors)
+    return findings, len(files)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Argument parser shared by ``repro lint`` and ``-m repro.analysis``."""
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "AST-based invariant linter: determinism, cache-key "
+            "completeness, async-safety, repr-hygiene."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (json follows the documented v1 schema)",
+    )
+    parser.add_argument(
+        "--rules", default=None, metavar="ID[,ID...]",
+        help="comma-separated subset of rules to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="JSON baseline of grandfathered finding fingerprints",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list the registered rules and exit",
+    )
+    return parser
+
+
+def run(
+    paths: Optional[Sequence[str]] = None,
+    output_format: str = "text",
+    rules: Optional[str] = None,
+    baseline: Optional[str] = None,
+    list_rules: bool = False,
+    stream=None,
+) -> int:
+    """Execute a lint run and print the report; returns the exit code.
+
+    This is the single implementation behind both CLI entry points, so
+    ``repro lint`` and ``python -m repro.analysis`` cannot drift.
+    """
+    stream = stream if stream is not None else sys.stdout
+    if list_rules:
+        for rule_id, rule in sorted(RULES.items()):
+            print(f"{rule_id}: {rule.summary}", file=stream)
+        return 0
+    try:
+        rule_names = (
+            [name.strip() for name in rules.split(",") if name.strip()]
+            if rules
+            else None
+        )
+        findings, num_files = lint_paths(
+            paths, rules=rule_names, baseline=baseline
+        )
+    except (FileNotFoundError, KeyError, ValueError, OSError) as error:
+        print(f"repro lint: error: {error}", file=sys.stderr)
+        return 2
+    renderer = render_json if output_format == "json" else render_text
+    print(renderer(findings, num_files), file=stream)
+    return 1 if any(not finding.baselined for finding in findings) else 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """``python -m repro.analysis`` entry point."""
+    try:
+        arguments = build_parser().parse_args(argv)
+    except SystemExit as exit_error:
+        # argparse exits 2 on bad usage, 0 on --help; preserve both.
+        return int(exit_error.code or 0)
+    return run(
+        paths=arguments.paths,
+        output_format=arguments.format,
+        rules=arguments.rules,
+        baseline=arguments.baseline,
+        list_rules=arguments.list_rules,
+    )

@@ -1,6 +1,6 @@
 """Command-line interface of the GauRast reproduction.
 
-Seven subcommands cover the library's main flows::
+Eight subcommands cover the library's main flows::
 
     python -m repro evaluate [--algorithm original|optimized] [--scene NAME]
         Paper-scale baseline-vs-GauRast comparison (Table III / Figs. 10-11).
@@ -40,6 +40,12 @@ Seven subcommands cover the library's main flows::
 
     python -m repro validate [--fp16]
         Hardware-vs-software output validation sweep (Section V-A).
+
+    python -m repro lint [PATH ...] [--format text|json] [--rules ID,...]
+                         [--baseline PATH] [--list-rules]
+        Run the AST-based invariant linter (repro.analysis) over the tree:
+        determinism, cache-key completeness, async-safety, repr-hygiene.
+        Exits 0 when clean, 1 on findings, 2 on analyzer-internal errors.
 """
 
 from __future__ import annotations
@@ -235,6 +241,24 @@ def build_parser() -> argparse.ArgumentParser:
                           help="validate the FP16 datapath instead of FP32")
     validate.add_argument("--scenes", type=int, default=2,
                           help="number of random Gaussian scenes")
+
+    lint = subparsers.add_parser(
+        "lint", help="run the AST-based invariant linter (repro.analysis)"
+    )
+    lint.add_argument("paths", nargs="*", metavar="PATH",
+                      help="files or directories to lint "
+                           "(default: the repro package)")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      help="report format (json follows the documented "
+                           "v1 schema)")
+    lint.add_argument("--rules", default=None, metavar="ID[,ID...]",
+                      help="comma-separated subset of rules to run "
+                           "(default: all)")
+    lint.add_argument("--baseline", default=None, metavar="PATH",
+                      help="JSON baseline of grandfathered finding "
+                           "fingerprints")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="list the registered rules and exit")
     return parser
 
 
@@ -602,6 +626,20 @@ def _print_serve_report(args: argparse.Namespace, store, report) -> None:
               f"with one core per worker")
 
 
+def _command_lint(args: argparse.Namespace) -> int:
+    # Imported lazily: the linter is pure stdlib and must stay usable
+    # even if heavier subsystems fail to import.
+    from repro.analysis.runner import run as run_lint
+
+    return run_lint(
+        paths=args.paths,
+        output_format=args.format,
+        rules=args.rules,
+        baseline=args.baseline,
+        list_rules=args.list_rules,
+    )
+
+
 def _command_experiments(args: argparse.Namespace) -> int:
     from repro.experiments.__main__ import main as run_experiments
 
@@ -636,6 +674,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve": _command_serve,
         "experiments": _command_experiments,
         "validate": _command_validate,
+        "lint": _command_lint,
     }
     return handlers[args.command](args)
 

@@ -32,7 +32,7 @@ Usage::
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 import numpy as np
@@ -86,10 +86,10 @@ class EncodedField:
     """
 
     codec: str
-    data: np.ndarray
+    data: np.ndarray = field(repr=False)
     shape: Tuple[int, ...]
-    offsets: Optional[np.ndarray]
-    steps: Optional[np.ndarray]
+    offsets: Optional[np.ndarray] = field(repr=False)
+    steps: Optional[np.ndarray] = field(repr=False)
     error_bound: float
 
     @property

@@ -34,7 +34,7 @@ Usage::
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -169,7 +169,7 @@ class LodPyramid:
         ``level_sizes[0] == N`` (level 0 is the full cloud).
     """
 
-    order: np.ndarray
+    order: np.ndarray = field(repr=False)
     level_sizes: Tuple[int, ...]
 
     def __post_init__(self) -> None:

@@ -30,7 +30,7 @@ Usage::
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, List, Optional, Union
 
@@ -85,7 +85,7 @@ class CompressedSceneRecord:
 
     cloud: CompressedCloud
     pyramid: LodPyramid
-    center: np.ndarray
+    center: np.ndarray = field(repr=False)
     radius: float
 
 

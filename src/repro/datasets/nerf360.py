@@ -26,7 +26,7 @@ DESIGN.md.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, Tuple
 
 #: Side length, in pixels, of the square screen tiles used by the tile-based

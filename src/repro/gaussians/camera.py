@@ -40,7 +40,9 @@ class Camera:
     fy: float
     cx: float = None  # type: ignore[assignment]
     cy: float = None  # type: ignore[assignment]
-    world_to_camera: np.ndarray = field(default_factory=lambda: np.eye(4))
+    world_to_camera: np.ndarray = field(
+        default_factory=lambda: np.eye(4), repr=False
+    )
     znear: float = 0.05
     zfar: float = 1000.0
 

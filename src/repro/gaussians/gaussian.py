@@ -57,6 +57,13 @@ class GaussianCloud:
     opacities: np.ndarray
     sh_coeffs: np.ndarray
 
+    def __repr__(self) -> str:
+        """Summary repr; the array payloads stay out of logs and tracebacks."""
+        return (
+            f"{type(self).__name__}(num_gaussians={len(self.positions)}, "
+            f"sh_degree={self.sh_degree})"
+        )
+
     def __post_init__(self) -> None:
         self.positions = _as_float_array(self.positions, "positions", (3,))
         self.scales = _as_float_array(self.scales, "scales", (3,))
@@ -178,6 +185,14 @@ class ProjectedGaussians:
     opacities: np.ndarray
     radii: np.ndarray
     source_indices: Optional[np.ndarray] = None
+
+    def __repr__(self) -> str:
+        """Summary repr; the array payloads stay out of logs and tracebacks."""
+        tracked = self.source_indices is not None
+        return (
+            f"{type(self).__name__}(num_projected={len(self.means)}, "
+            f"tracks_provenance={tracked})"
+        )
 
     def __post_init__(self) -> None:
         self.means = _as_float_array(self.means, "means", (2,))

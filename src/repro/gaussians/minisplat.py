@@ -15,7 +15,7 @@ pruning reproduces faithfully on the synthetic scenes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 import numpy as np
@@ -30,8 +30,8 @@ from repro.gaussians.scene import GaussianScene
 class PruneResult:
     """Outcome of a Gaussian-budget pruning pass."""
 
-    kept_indices: np.ndarray
-    scores: np.ndarray
+    kept_indices: np.ndarray = field(repr=False)
+    scores: np.ndarray = field(repr=False)
     budget: int
 
     @property

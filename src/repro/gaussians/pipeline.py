@@ -20,7 +20,7 @@ Two entry points are provided:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import cached_property
 from typing import List, Optional, Sequence
 
@@ -53,7 +53,7 @@ class RenderResult:
         Counters from Stage 3.
     """
 
-    image: np.ndarray
+    image: np.ndarray = field(repr=False)
     projected: ProjectedGaussians
     binning: TileBinning
     preprocess_stats: PreprocessStats

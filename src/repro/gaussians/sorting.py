@@ -41,6 +41,13 @@ class TileBinning:
     tile_lists: Dict[int, np.ndarray]
     num_keys: int
 
+    def __repr__(self) -> str:
+        """Summary repr; the per-tile index arrays stay out of logs."""
+        return (
+            f"{type(self).__name__}(num_occupied_tiles="
+            f"{self.num_occupied_tiles}, num_keys={self.num_keys})"
+        )
+
     @property
     def num_occupied_tiles(self) -> int:
         """Number of tiles containing at least one Gaussian."""

@@ -11,7 +11,7 @@ per-tile and per-batch cycle costs and for the dispatch ordering it imposes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Sequence, Tuple
+from typing import List, Sequence
 
 
 @dataclass(frozen=True)

@@ -90,8 +90,8 @@ class OperationCounts:
 class GaussianPixelState:
     """Accumulator state of the pixels owned by one PE in Gaussian mode."""
 
-    color: np.ndarray  # (P, 3)
-    transmittance: np.ndarray  # (P,)
+    color: np.ndarray = field(repr=False)  # (P, 3)
+    transmittance: np.ndarray = field(repr=False)  # (P,)
 
     @classmethod
     def initial(cls, num_pixels: int) -> "GaussianPixelState":
@@ -105,9 +105,9 @@ class GaussianPixelState:
 class TrianglePixelState:
     """Accumulator state of the pixels owned by one PE in triangle mode."""
 
-    color: np.ndarray  # (P, 3)
-    depth: np.ndarray  # (P,)
-    uv: np.ndarray  # (P, 2)
+    color: np.ndarray = field(repr=False)  # (P, 3)
+    depth: np.ndarray = field(repr=False)  # (P,)
+    uv: np.ndarray = field(repr=False)  # (P, 2)
 
     @classmethod
     def initial(cls, num_pixels: int, background=(0.0, 0.0, 0.0)) -> "TrianglePixelState":

@@ -24,7 +24,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.hardware.config import GauRastConfig, SCALED_CONFIG
-from repro.hardware.fp import Precision
 from repro.hardware.multi import RasterizationEstimate
 from repro.hardware.pe import GAUSSIAN_SUBTASK_OPS, subtask_totals
 from repro.hardware.units import (

@@ -46,7 +46,7 @@ class TileBuffer:
 
     name: str
     capacity: int
-    primitives: Optional[np.ndarray] = None
+    primitives: Optional[np.ndarray] = field(default=None, repr=False)
     extra: Optional[dict] = None
 
     def load(self, primitives: np.ndarray, extra: Optional[dict] = None) -> None:

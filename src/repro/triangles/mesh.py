@@ -31,6 +31,13 @@ class TriangleMesh:
     vertex_colors: Optional[np.ndarray] = None
     uvs: Optional[np.ndarray] = None
 
+    def __repr__(self) -> str:
+        """Summary repr; the vertex/face payloads stay out of logs."""
+        return (
+            f"{type(self).__name__}(num_vertices={len(self.vertices)}, "
+            f"num_faces={len(self.faces)})"
+        )
+
     def __post_init__(self) -> None:
         self.vertices = np.asarray(self.vertices, dtype=np.float64)
         self.faces = np.asarray(self.faces, dtype=np.int64)

@@ -19,8 +19,7 @@ interpolated colour for image comparisons.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -51,9 +50,9 @@ class TriangleRasterStats:
 class TriangleFrame:
     """Output buffers of a triangle rasterization pass."""
 
-    color: np.ndarray  # (H, W, 3)
-    depth: np.ndarray  # (H, W)
-    uv: np.ndarray  # (H, W, 2)
+    color: np.ndarray = field(repr=False)  # (H, W, 3)
+    depth: np.ndarray = field(repr=False)  # (H, W)
+    uv: np.ndarray = field(repr=False)  # (H, W, 2)
     stats: TriangleRasterStats
 
 

@@ -8,7 +8,7 @@ left column ("Vertices' Coordinates"): three screen-space vertices of
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -30,9 +30,9 @@ class ScreenTriangles:
         ``(F, 3, 2)`` per-triangle vertex texture coordinates.
     """
 
-    vertices: np.ndarray
-    colors: np.ndarray
-    uvs: np.ndarray
+    vertices: np.ndarray = field(repr=False)
+    colors: np.ndarray = field(repr=False)
+    uvs: np.ndarray = field(repr=False)
 
     def __len__(self) -> int:
         return len(self.vertices)

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.gaussians.camera import Camera, look_at
+from repro.gaussians.camera import Camera
 from repro.gaussians.gaussian import GaussianCloud, ProjectedGaussians
 from repro.gaussians.pipeline import render
 from repro.gaussians.scene import GaussianScene

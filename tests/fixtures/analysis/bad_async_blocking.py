@@ -1,0 +1,28 @@
+"""Fixture: blocking calls inside async def bodies (async-blocking rule)."""
+
+import subprocess
+import time
+from time import sleep
+
+
+class Worker:
+    """Stand-in worker whose coroutines block the event loop."""
+
+    async def sleepy(self):
+        time.sleep(0.5)
+
+    async def sleepy_from_import(self):
+        sleep(0.5)
+
+    async def reads_file(self):
+        with open("data.txt") as handle:
+            return handle.read()
+
+    async def shells_out(self):
+        subprocess.run(["ls"])
+
+    async def sync_recv(self, connection):
+        return connection.recv()
+
+    async def sync_acquire(self, lock):
+        lock.acquire()

@@ -1,0 +1,16 @@
+"""Fixture: lost-update races on shared instance state (async-state rule)."""
+
+
+class Counter:
+    """Stand-in for gateway-style shared mutable state."""
+
+    async def read_modify_write(self):
+        count = self._count
+        await self._flush()
+        self._count = count + 1
+
+    async def augmented_across_await(self):
+        self._total += await self._delta()
+
+    async def direct_around_await(self):
+        self._count = self._count + await self._delta()

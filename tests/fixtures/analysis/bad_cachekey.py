@@ -1,0 +1,29 @@
+"""Fixture: cache keys missing RenderRequest dimensions.
+
+``_frame_key`` drops ``level`` (the exact regression PR 4 hit when LOD
+landed) and the coalescing key drops ``backend``; both must be flagged.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RenderRequest:
+    """Stand-in for the serving request with all four dimensions."""
+
+    scene_id: str
+    camera: object
+    backend: str
+    level: int
+
+
+class Service:
+    """Stand-in service with incomplete key constructions."""
+
+    def _frame_key(self, request):
+        # Missing: level.
+        return (request.scene_id, request.camera, request.backend)
+
+    def _coalesce_key(self, request):
+        # Missing: backend (the coalesce kind has no exemptions).
+        return (request.scene_id, request.camera, request.level)

@@ -1,0 +1,13 @@
+"""Fixture: every unseeded randomness pattern the determinism rule flags."""
+
+import random
+import numpy as np
+from numpy.random import default_rng
+
+unseeded = np.random.default_rng()
+unseeded_from_import = default_rng()
+legacy_module = np.random.rand(3)
+legacy_uniform = np.random.uniform(0.0, 1.0)
+stdlib_call = random.random()
+stdlib_choice = random.choice([1, 2, 3])
+unseeded_stdlib_instance = random.Random()

@@ -1,0 +1,22 @@
+"""Fixture: dataclass ndarray fields leaking into reprs (repr-hygiene rule)."""
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+
+@dataclass
+class Frame:
+    """A frame whose pixel payload would be dumped by the generated repr."""
+
+    name: str
+    pixels: np.ndarray
+    depth: Optional[np.ndarray] = None
+
+
+@dataclass
+class Binned:
+    """Container types holding arrays are flagged too."""
+
+    tiles: Dict[int, np.ndarray]

@@ -1,0 +1,33 @@
+"""Fixture: non-blocking async bodies the async-blocking rule must accept."""
+
+import asyncio
+import time
+
+
+class Worker:
+    """Stand-in worker whose coroutines stay on the event loop."""
+
+    async def naps(self):
+        await asyncio.sleep(0.5)
+
+    async def awaited_recv(self, connection):
+        return await connection.recv()
+
+    async def awaited_acquire(self, lock):
+        await lock.acquire()
+
+    async def measures_time(self):
+        # Reading the clock is fine; only time.sleep blocks.
+        return time.perf_counter()
+
+    def sync_helper(self):
+        # Blocking calls outside async def are out of scope.
+        time.sleep(0.01)
+
+    async def blocking_in_nested_sync_def(self):
+        def helper():
+            time.sleep(0.01)
+
+        # The nested *sync* function runs in an executor; the async body
+        # itself never blocks.
+        return await asyncio.get_event_loop().run_in_executor(None, helper)

@@ -1,0 +1,24 @@
+"""Fixture: safe shared-state patterns the async-state rule must accept."""
+
+
+class Counter:
+    """Stand-in for gateway-style shared mutable state, used safely."""
+
+    async def locked_read_modify_write(self):
+        async with self._lock:
+            count = self._count
+            await self._flush()
+            self._count = count + 1
+
+    async def no_await_between(self):
+        count = self._count
+        self._count = count + 1
+        await self._flush()
+
+    async def recomputed_after_await(self):
+        await self._flush()
+        self._count = self._count + 1
+
+    async def constant_write_after_await(self):
+        await self._flush()
+        self._dispatcher = None

@@ -1,0 +1,30 @@
+"""Fixture: complete cache keys the cache-key rule must accept.
+
+``_frame_key`` omits ``backend`` — allowed, because the frame kind has a
+contract-backed exemption (backends are bit-identical).  The coalesce key
+carries every dimension.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RenderRequest:
+    """Stand-in for the serving request with all four dimensions."""
+
+    scene_id: str
+    camera: object
+    backend: str
+    level: int
+
+
+class Service:
+    """Stand-in service with complete key constructions."""
+
+    def _frame_key(self, request):
+        return (request.scene_id, request.camera, request.level)
+
+    def _coalesce_key(self, request):
+        return (
+            request.scene_id, request.camera, request.backend, request.level
+        )

@@ -1,0 +1,11 @@
+"""Fixture: seeded randomness the determinism rule must accept."""
+
+import random
+import numpy as np
+from numpy.random import default_rng
+
+seeded = np.random.default_rng(0)
+seeded_kwarg = np.random.default_rng(seed=1234)
+seeded_from_import = default_rng(7)
+seeded_stdlib_instance = random.Random(42)
+system_rng = random.SystemRandom()

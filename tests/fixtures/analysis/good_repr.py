@@ -1,0 +1,40 @@
+"""Fixture: repr-safe dataclass patterns the repr-hygiene rule must accept."""
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class Frame:
+    """Array payload opted out of the generated repr."""
+
+    name: str
+    pixels: np.ndarray = field(repr=False)
+    depth: Optional[np.ndarray] = field(default=None, repr=False)
+
+
+@dataclass
+class Cloud:
+    """A summary __repr__ keeps the payload out of logs."""
+
+    positions: np.ndarray
+
+    def __repr__(self) -> str:
+        return f"Cloud(num_points={len(self.positions)})"
+
+
+@dataclass(repr=False)
+class Raw:
+    """Repr generation disabled entirely."""
+
+    data: np.ndarray
+
+
+@dataclass
+class Scalar:
+    """Non-array fields are never flagged."""
+
+    width: int
+    name: str

@@ -1,0 +1,5 @@
+"""Fixture: suppression comments silencing known findings."""
+
+import numpy as np
+
+tolerated = np.random.default_rng()  # repro: ignore[determinism]

@@ -1,0 +1,7 @@
+"""Fixture: a file-level suppression silencing a whole rule."""
+# repro: ignore-file[determinism]
+
+import numpy as np
+
+first = np.random.default_rng()
+second = np.random.rand(3)

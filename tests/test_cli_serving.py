@@ -203,7 +203,10 @@ class TestServeAsyncGateway:
         def gateway_line():
             assert main(args) == 0
             out = capsys.readouterr().out
-            return [l for l in out.splitlines() if l.startswith("gateway:")]
+            return [
+                line for line in out.splitlines()
+                if line.startswith("gateway:")
+            ]
 
         assert gateway_line() == gateway_line()
 
@@ -217,3 +220,66 @@ class TestServeAsyncGateway:
         assert "hardware model:" in out
         # The per-shard breakdown belongs to the direct fleet serve only.
         assert "shard 0:" not in out
+
+
+class TestLintCommand:
+    """Exit-code contract of ``repro lint``: 0 clean, 1 findings, 2 error."""
+
+    FIXTURES = "tests/fixtures/analysis"
+
+    def test_clean_tree_exits_zero(self, capsys):
+        assert main(["lint", "src/repro/analysis"]) == 0
+        out = capsys.readouterr().out
+        assert "repro lint: clean" in out
+
+    def test_findings_exit_one(self, capsys):
+        assert main(["lint", f"{self.FIXTURES}/bad_determinism.py"]) == 1
+        out = capsys.readouterr().out
+        assert "determinism:" in out
+        assert "finding(s)" in out
+
+    def test_missing_path_exits_two(self, capsys):
+        assert main(["lint", "does/not/exist.py"]) == 2
+
+    def test_unknown_rule_exits_two(self, capsys):
+        assert main([
+            "lint", "src/repro/analysis", "--rules", "bogus-rule",
+        ]) == 2
+
+    def test_json_format(self, capsys):
+        import json
+
+        assert main([
+            "lint", f"{self.FIXTURES}/bad_repr.py", "--format", "json",
+        ]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["version"] == 1
+        assert report["summary"]["clean"] is False
+        assert all(
+            entry["rule"] == "repr-hygiene" for entry in report["findings"]
+        )
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("determinism", "cache-key", "repr-hygiene"):
+            assert f"{rule_id}:" in out
+
+    def test_rule_subset_runs_only_that_rule(self, capsys):
+        assert main([
+            "lint", f"{self.FIXTURES}/bad_determinism.py",
+            "--rules", "repr-hygiene",
+        ]) == 0
+
+    def test_baseline_grandfathers_findings(self, tmp_path, capsys):
+        from repro.analysis import Baseline, lint_paths
+
+        bad = f"{self.FIXTURES}/bad_cachekey.py"
+        findings, _ = lint_paths([bad])
+        baseline = tmp_path / "baseline.json"
+        Baseline(
+            fingerprints={finding.fingerprint for finding in findings}
+        ).save(baseline)
+        assert main(["lint", bad, "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "baselined" in out

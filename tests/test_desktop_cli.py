@@ -1,6 +1,5 @@
 """Tests for the desktop GPU model, the motivation/quality experiments and the CLI."""
 
-import numpy as np
 import pytest
 
 from repro.baselines.desktop import DesktopGpu

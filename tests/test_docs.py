@@ -23,6 +23,7 @@ DOCS = REPO_ROOT / "docs"
 #: Packages covered by the docstring gate, with the coverage floor.
 GATED_PACKAGES = (
     "src/repro/serving", "src/repro/core", "src/repro/compression",
+    "src/repro/analysis",
 )
 COVERAGE_THRESHOLD = 0.95
 
@@ -33,6 +34,7 @@ def test_architecture_doc_names_the_real_layers():
         "repro.gaussians", "repro.hardware", "repro.serving", "repro.core",
         "repro.compression", "ShardedRenderService", "CompressedSceneStore",
         "bit-identical", "Equivalence contracts", "error bounds",
+        "repro.analysis", "Enforced invariants", "repro lint",
     ):
         assert anchor in text, f"ARCHITECTURE.md lost its {anchor!r} section"
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.datasets.nerf360 import get_scene
 from repro.hardware.area import AreaModel, BASELINE_SOC_AREA_MM2
-from repro.hardware.config import GauRastConfig, PROTOTYPE_CONFIG, SCALED_CONFIG
+from repro.hardware.config import PROTOTYPE_CONFIG, SCALED_CONFIG
 from repro.hardware.fp import Precision
 from repro.hardware.multi import ScaledGauRast
 from repro.hardware.power import EnergyModel

@@ -13,7 +13,6 @@ The key validations mirror the paper's methodology:
 import numpy as np
 import pytest
 
-from repro.gaussians.pipeline import render
 from repro.gaussians.rasterize import rasterize_tiles
 from repro.gaussians.tiles import TileGrid
 from repro.hardware.config import GauRastConfig

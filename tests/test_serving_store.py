@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.gaussians.camera import Camera, look_at
+from repro.gaussians.camera import Camera
 from repro.gaussians.gaussian import GaussianCloud
 from repro.gaussians.io import load_scene, save_scene
 from repro.gaussians.scene import GaussianScene

@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 
 from repro.gaussians.gaussian import ProjectedGaussians
 from repro.gaussians.sorting import (
-    TileBinning,
     bin_and_sort,
     duplicate_keys,
     tile_depth_histogram,

@@ -15,7 +15,6 @@ from hypothesis import strategies as st
 from repro.gaussians.gaussian import ProjectedGaussians
 from repro.gaussians.pipeline import render, render_batch
 from repro.gaussians.rasterize import (
-    ALPHA_MAX,
     RasterStats,
     gaussian_alpha,
     gaussian_alpha_block,
