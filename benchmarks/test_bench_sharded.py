@@ -1,0 +1,182 @@
+"""Hot-scene replication benchmark: replicated fleet vs static affinity.
+
+The scenario ISSUE pins: a hotspot stream (one scene absorbs ~80% of the
+requests) against a 4-worker fleet.  Under static scene affinity the hot
+scene's one owner is the critical path while the other shards idle;
+replicating the hot scene on ``k=2`` shards with load-aware dispatch splits
+that traffic.
+
+Two fleets serve the *same* trace in in-process mode (identical code path,
+busy times clean on any host) with the frame cache disabled, so every
+request costs real render work and the load split is honest:
+
+* the per-shard **request-count spread** (max - min share) is a
+  deterministic function of the stream and must strictly shrink under
+  replication — asserted unconditionally;
+* the **critical path** (slowest shard's busy time) and the modeled p95
+  latency must improve too — time-based, so shared CI runners opt out via
+  ``REPRO_RELAX_PERF_ASSERTS``;
+* frames from both fleets are bit-identical to the single-worker serve —
+  replication buys balance, never accuracy.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.gaussians.synthetic import SyntheticConfig, make_synthetic_scene
+from repro.serving import (
+    RenderService,
+    SceneStore,
+    ShardedRenderService,
+    generate_requests,
+    popularity_priority,
+)
+
+#: Workers of the benchmark fleet.
+NUM_WORKERS = 4
+
+#: Requests in the hotspot bench trace.
+NUM_REQUESTS = 64
+
+#: Dispatch round size shared by both fleets (same routing cadence).
+WINDOW = 8
+
+
+@pytest.fixture(scope="module")
+def hotspot_workload():
+    """A 4-scene store plus a hotspot trace and its popularity model."""
+    store = SceneStore(
+        make_synthetic_scene(
+            SyntheticConfig(num_gaussians=300, width=80, height=60, seed=seed),
+            name=f"bench-scene-{seed}",
+            # Enough distinct viewpoints that a dispatch round rarely
+            # repeats one: in-batch memoization would otherwise collapse
+            # the hot shard's queue and mask the balancing effect.
+            num_cameras=16,
+        )
+        for seed in range(NUM_WORKERS)
+    )
+    trace = generate_requests(
+        store, NUM_REQUESTS, pattern="hotspot", seed=2, hotspot_fraction=0.8
+    )
+    priority = popularity_priority(store, pattern="hotspot", seed=2)
+    return store, trace, priority
+
+
+def _serve(store, trace, priority, replication):
+    """One cold serve through a fleet with the given replication factor."""
+    with ShardedRenderService(
+        store,
+        num_workers=NUM_WORKERS,
+        replication=replication,
+        hot_scenes=priority if replication > 1 else None,
+        use_processes=False,
+        dispatch_window=WINDOW,
+        frame_cache_bytes=0,  # every request pays its render: honest load
+    ) as fleet:
+        return fleet.serve(trace)
+
+
+def _spread(report):
+    """Max-minus-min per-shard request share (0 = perfectly balanced)."""
+    counts = [shard.num_requests for shard in report.shards]
+    return (max(counts) - min(counts)) / report.num_requests
+
+
+def test_bench_replicated_vs_static_affinity(
+    benchmark, record_info, hotspot_workload
+):
+    store, trace, priority = hotspot_workload
+
+    static = _serve(store, trace, priority, replication=1)
+    replicated = benchmark.pedantic(
+        lambda: _serve(store, trace, priority, replication=2),
+        rounds=2, iterations=1,
+    )
+    assert static.num_requests == NUM_REQUESTS
+    assert replicated.num_requests == NUM_REQUESTS
+
+    # The hot scene really is resident on 2 shards in the replicated fleet.
+    hot = min(priority.hot_scenes)
+    assert len(replicated.placement_map[hot]) == 2
+    assert len(static.placement_map[hot]) == 1
+
+    # Deterministic: load-aware dispatch over 2 owners must strictly shrink
+    # the request-count spread vs static affinity pinning the hot scene.
+    static_spread = _spread(static)
+    replicated_spread = _spread(replicated)
+    assert replicated_spread < static_spread
+    hot_owner_max = max(s.num_requests for s in replicated.shards)
+    assert hot_owner_max < max(s.num_requests for s in static.shards)
+
+    # Bit-identity: replication never changes a frame.
+    single = RenderService(store, frame_cache_bytes=0).serve(trace)
+    for report in (static, replicated):
+        for mine, ref in zip(report.responses, single.responses):
+            assert np.array_equal(mine.image, ref.image)
+            assert mine.frame_key == ref.frame_key
+
+    static_p95 = static.latency_percentile(95)
+    replicated_p95 = replicated.latency_percentile(95)
+    balance_speedup = (
+        static.critical_path_seconds / replicated.critical_path_seconds
+    )
+    if benchmark.stats is not None:
+        record_info(
+            benchmark,
+            num_workers=NUM_WORKERS,
+            hot_scene=hot,
+            static_spread=static_spread,
+            replicated_spread=replicated_spread,
+            static_utilization=[round(u, 3) for u in static.utilization],
+            replicated_utilization=[
+                round(u, 3) for u in replicated.utilization
+            ],
+            static_p95_ms=static_p95 * 1e3,
+            replicated_p95_ms=replicated_p95 * 1e3,
+            critical_path_speedup=balance_speedup,
+        )
+    # Time-based: the hot shard's busy time was the fleet's critical path;
+    # splitting it across two owners must shorten it and the tail latency.
+    # Measured ~1.6x critical-path gain on a quiet machine; 1.15x leaves
+    # margin.  Shared CI runners opt out via REPRO_RELAX_PERF_ASSERTS.
+    if not os.environ.get("REPRO_RELAX_PERF_ASSERTS"):
+        assert balance_speedup >= 1.15
+        assert replicated_p95 <= static_p95
+
+
+def test_bench_chaos_overhead(benchmark, record_info, hotspot_workload):
+    """A mid-stream kill on a replicated fleet: overhead stays bounded.
+
+    The killed shard's in-flight window is requeued to the surviving
+    replica; the serve must not redo more than that window, so the extra
+    work is at most one dispatch round.  Deterministic, so asserted
+    unconditionally; wall time is recorded for the report.
+    """
+    from repro.serving import FailurePlan
+
+    store, trace, priority = hotspot_workload
+    plan = FailurePlan.at((NUM_REQUESTS // 2, 1))
+
+    def chaotic():
+        with ShardedRenderService(
+            store, num_workers=NUM_WORKERS, replication=2,
+            hot_scenes=priority, use_processes=False,
+            dispatch_window=WINDOW, frame_cache_bytes=0,
+        ) as fleet:
+            return fleet.serve(trace, failure_plan=plan)
+
+    report = benchmark.pedantic(chaotic, rounds=2, iterations=1)
+    assert report.num_requests == NUM_REQUESTS
+    assert report.dispatched == NUM_REQUESTS + report.requeued
+    assert report.killed == (1,)
+    assert report.requeued <= WINDOW
+    if benchmark.stats is not None:
+        record_info(
+            benchmark,
+            requeued=report.requeued,
+            respawned=report.respawned,
+            redo_fraction=report.requeued / NUM_REQUESTS,
+        )

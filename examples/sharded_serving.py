@@ -15,7 +15,11 @@ dispatcher routes requests and merges per-shard reports.  The walkthrough:
    check the frames are bit-identical,
 5. read the fleet report: per-shard utilization, critical path, and the
    throughput a one-core-per-worker deployment sustains,
-6. replay the trace on the cycle-level hardware model.
+6. replicate the hot scene on two shards and kill a worker mid-stream
+   with a :class:`FailurePlan` — in-flight requests are requeued to the
+   surviving replica, the counters reconcile, and the frames are *still*
+   bit-identical,
+7. replay the trace on the cycle-level hardware model.
 
 Run with::
 
@@ -29,6 +33,7 @@ import numpy as np
 from repro.core import GauRastSystem
 from repro.gaussians.synthetic import SyntheticConfig, make_synthetic_scene
 from repro.serving import (
+    FailurePlan,
     RenderService,
     SceneStore,
     ShardedRenderService,
@@ -92,7 +97,27 @@ def main() -> None:
               f"frame cache {shard.frame_cache.entries} entries")
 
     # ------------------------------------------------------------------ #
-    # 6. What the accelerator fleet sustains, in cycles.
+    # 6. Chaos: replicate the hottest scene, then kill a worker mid-stream.
+    # ------------------------------------------------------------------ #
+    hottest = max(range(len(store)),
+                  key=lambda scene: per_scene[store.names[scene]])
+    plan = FailurePlan.at((len(trace) // 2, hottest % NUM_WORKERS))
+    with ShardedRenderService(store, num_workers=NUM_WORKERS,
+                              replication=2, hot_scenes=[hottest]) as fleet:
+        chaos = fleet.serve(trace, failure_plan=plan)
+    for mine, ref in zip(chaos.responses, single.responses):
+        if not np.array_equal(mine.image, ref.image):
+            raise SystemExit("chaos frame diverged from the single worker")
+    assert chaos.dispatched == chaos.num_requests + chaos.requeued
+    print(f"chaos: hot scene {hottest} on shards "
+          f"{chaos.placement_map[hottest]}, killed {list(chaos.killed)} "
+          f"mid-stream -> {chaos.requeued} requeued, "
+          f"{chaos.respawned} respawned, "
+          f"{chaos.num_requests}/{len(trace)} responses, "
+          f"frames still bit-identical")
+
+    # ------------------------------------------------------------------ #
+    # 7. What the accelerator fleet sustains, in cycles.
     # ------------------------------------------------------------------ #
     system = GauRastSystem()
     evaluation = system.evaluate_trace(store, trace, workers=NUM_WORKERS)

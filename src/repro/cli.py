@@ -23,6 +23,8 @@ Eight subcommands cover the library's main flows::
 
     python -m repro serve [--requests N] [--store PATH] [--workers N]
                           [--traffic uniform|zipf|hotspot] [--seed N]
+                          [--replicate-hot K] [--rebalance]
+                          [--kill-at POS:WORKER[,..]]
                           [--lod] [--codec C] [--naive] [--hardware]
                           [--async] [--queue-depth N]
                           [--overload-policy block|shed-oldest|reject]
@@ -34,6 +36,11 @@ Eight subcommands cover the library's main flows::
         --async fronts the service with the RenderGateway (in-flight
         coalescing, bounded admission queue, priority lanes) and reports
         coalesce/shed/reject counters plus queue-depth percentiles.
+        --replicate-hot K makes the traffic model's hot scenes resident on
+        K shards with load-aware routing, --rebalance promotes/demotes
+        replicas live from observed traffic, and --kill-at injects seeded
+        worker deaths mid-stream (requeued, never lost) with a fault-
+        accounting printout.
 
     python -m repro experiments [NAME ...]
         Run the experiment harness (all experiments by default).
@@ -80,6 +87,7 @@ from repro.hardware.validation import validate_against_software
 from repro.serving import (
     OVERLOAD_POLICIES,
     TRAFFIC_PATTERNS,
+    FailurePlan,
     RenderGateway,
     RenderService,
     SceneStore,
@@ -191,6 +199,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--workers", type=int, default=1,
                        help="shard the stream across N worker processes "
                             "with scene affinity (default: 1, in-process)")
+    serve.add_argument("--replicate-hot", type=int, default=1, metavar="K",
+                       help="make each hot scene (from the seeded traffic "
+                            "popularity model) resident on K shards with "
+                            "load-aware routing (needs --workers > 1)")
+    serve.add_argument("--rebalance", action="store_true",
+                       help="promote/demote replicas live from observed "
+                            "traffic (needs --workers > 1)")
+    serve.add_argument("--kill-at", default=None, metavar="POS:WORKER[,..]",
+                       help="chaos injection: kill WORKER once POS requests "
+                            "have been dispatched, e.g. 30:1,45:0 "
+                            "(needs --workers > 1); in-flight requests are "
+                            "requeued, no response is lost")
     serve.add_argument(
         "--traffic", choices=TRAFFIC_PATTERNS, default="uniform",
         help="scene-popularity skew of the synthetic trace",
@@ -477,10 +497,50 @@ def _command_compress(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_kill_plan(spec: str) -> FailurePlan:
+    """Parse ``--kill-at POS:WORKER[,POS:WORKER...]`` into a FailurePlan."""
+    kills = []
+    for part in spec.split(","):
+        position, _, worker = part.partition(":")
+        if not worker:
+            raise ValueError(
+                f"bad --kill-at entry {part!r}; expected POS:WORKER"
+            )
+        kills.append((int(position), int(worker)))
+    return FailurePlan.at(*kills)
+
+
 def _command_serve(args: argparse.Namespace) -> int:
     if args.workers < 1:
         print("--workers must be at least 1", file=sys.stderr)
         return 2
+    if args.replicate_hot < 1:
+        print("--replicate-hot must be at least 1", file=sys.stderr)
+        return 2
+    fleet_flags = (
+        args.replicate_hot > 1 or args.rebalance or args.kill_at is not None
+    )
+    if fleet_flags and args.workers < 2:
+        print("--replicate-hot/--rebalance/--kill-at need --workers > 1",
+              file=sys.stderr)
+        return 2
+    if args.kill_at is not None and args.use_async:
+        print("--kill-at drives the fleet dispatcher directly; "
+              "it cannot be combined with --async", file=sys.stderr)
+        return 2
+    failure_plan = None
+    if args.kill_at is not None:
+        try:
+            failure_plan = _parse_kill_plan(args.kill_at)
+            for _, worker in failure_plan.kills:
+                if worker >= args.workers:
+                    raise ValueError(
+                        f"--kill-at targets worker {worker}, but there are "
+                        f"only {args.workers}"
+                    )
+        except ValueError as error:
+            print(str(error), file=sys.stderr)
+            return 2
     if args.store:
         store = load_store(args.store)
     else:
@@ -506,9 +566,20 @@ def _command_serve(args: argparse.Namespace) -> int:
 
     gateway = None
     if args.workers > 1:
+        hot_scenes = None
+        if args.replicate_hot > 1:
+            # Hot set from the same seeded popularity model the trace was
+            # drawn from, so replication targets the scenes that are
+            # actually hot in this stream.
+            hot_scenes = popularity_priority(
+                store, pattern=args.traffic, seed=args.seed,
+                zipf_exponent=args.zipf_exponent,
+                hotspot_fraction=args.hotspot_fraction,
+            )
         service = ShardedRenderService(
             store, num_workers=args.workers, backend=args.backend,
-            lod_policy=lod_policy,
+            lod_policy=lod_policy, replication=args.replicate_hot,
+            hot_scenes=hot_scenes, rebalance=args.rebalance,
         )
     else:
         service = RenderService(
@@ -542,6 +613,8 @@ def _command_serve(args: argparse.Namespace) -> int:
                   f"{report.queue_depth_percentile(50):.0f}, p95 "
                   f"{report.queue_depth_percentile(95):.0f} over "
                   f"{len(report.queue_depth_samples)} admissions")
+        elif args.workers > 1:
+            report = service.serve(trace, failure_plan=failure_plan)
         else:
             report = service.serve(trace)
         _print_serve_report(args, store, report)
@@ -620,10 +693,21 @@ def _print_serve_report(args: argparse.Namespace, store, report) -> None:
                   f"{shard.num_batches} batches, "
                   f"busy {shard.busy_seconds * 1e3:.1f} ms, "
                   f"utilization "
-                  f"{report.utilization[shard.shard_id]:.0%}")
+                  f"{report.utilization[shard.shard_id]:.0%}"
+                  + ("" if shard.alive else " [dead]"))
         print(f"fleet critical path {report.critical_path_seconds * 1e3:.1f} ms "
               f"-> {report.modeled_requests_per_second:.1f} req/s "
               f"with one core per worker")
+        if report.killed or report.requeued or report.placement:
+            print(f"fault accounting: {report.dispatched} dispatched = "
+                  f"{report.num_requests} completed + "
+                  f"{report.requeued} requeued; "
+                  f"killed {list(report.killed) or '[]'}, "
+                  f"{report.respawned} respawned")
+            for event in report.placement:
+                scene = "" if event.scene is None else f" scene {event.scene}"
+                print(f"  @{event.position}: {event.kind}{scene} "
+                      f"on shard {event.shard}")
 
 
 def _command_lint(args: argparse.Namespace) -> int:

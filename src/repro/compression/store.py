@@ -181,6 +181,26 @@ class CompressedSceneStore(SceneStore):
             substore._adopt(self._records[resolved], shell)
         return substore
 
+    def adopt_scene(self, source: SceneStore, index=0) -> int:
+        """Copy one scene of ``source`` in, preserving its quantized payload.
+
+        From another compressed tier the record (payload, pyramid, bounds)
+        is shared verbatim — re-quantizing a decoded lossy cloud would move
+        the quantization grid and break per-level bit-identity across the
+        fleet.  From a plain store the scene is compressed with this
+        store's codec, exactly like :meth:`add_scene`.
+        """
+        if not isinstance(source, CompressedSceneStore):
+            return super().adopt_scene(source, index)
+        resolved = source.resolve_index(index)
+        shell = GaussianScene(
+            cloud=_empty_cloud(),
+            cameras=source.get_cameras(resolved),
+            name=source._names[resolved],
+            descriptor_name=source._descriptors[resolved],
+        )
+        return self._adopt(source._records[resolved], shell)
+
     @classmethod
     def from_store(
         cls,

@@ -338,6 +338,10 @@ class GauRastSystem:
         workers: Optional[int] = None,
         lod_policy=None,
         gateway: Optional[RenderGateway] = None,
+        replication: int = 1,
+        hot_scenes=None,
+        rebalance: bool = False,
+        failure_plan=None,
     ) -> TraceEvaluation:
         """Serve a request trace and replay it on the hardware model.
 
@@ -368,6 +372,13 @@ class GauRastSystem:
         batching change nothing in the replay because frames stay
         bit-identical, but overload drops (shed/rejected/expired requests)
         produced no frame and are therefore excluded from it.
+
+        ``replication``/``hot_scenes``/``rebalance`` configure hot-scene
+        replication on a fleet created here (``workers`` > 1), and
+        ``failure_plan`` injects seeded worker deaths into the sharded
+        serve (see :class:`~repro.serving.traffic.FailurePlan`) — requeued
+        requests still produce exactly one response each, and frames stay
+        bit-identical, so the hardware replay is again unaffected.
         """
         if gateway is not None and service is not None:
             raise ValueError("pass either service= or gateway=, not both")
@@ -379,7 +390,8 @@ class GauRastSystem:
                 service = owned_service = ShardedRenderService(
                     store, num_workers=workers, backend=backend,
                     background=background, collect_stats=False,
-                    lod_policy=lod_policy,
+                    lod_policy=lod_policy, replication=replication,
+                    hot_scenes=hot_scenes, rebalance=rebalance,
                 )
             else:
                 service = RenderService(
@@ -393,6 +405,13 @@ class GauRastSystem:
             if gateway is not None:
                 report = gateway.serve(requests)
                 served_responses = [r for r in report.responses if r.ok]
+            elif failure_plan is not None:
+                if not isinstance(service, ShardedRenderService):
+                    raise ValueError(
+                        "failure_plan needs a sharded service (workers > 1)"
+                    )
+                report = service.serve(requests, failure_plan=failure_plan)
+                served_responses = report.responses
             else:
                 report = service.serve(requests)
                 served_responses = report.responses

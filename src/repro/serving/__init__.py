@@ -13,7 +13,11 @@ three tiers:
 * :class:`~repro.serving.sharded.ShardedRenderService` partitions the
   stream across N worker processes with scene affinity, merging per-shard
   results into a fleet-level report — frames stay bit-identical to the
-  single-worker service;
+  single-worker service.  A :class:`~repro.serving.placement.PlacementMap`
+  replicates hot scenes across shards with load-aware routing, replicas
+  rebalance live, and a :class:`~repro.serving.traffic.FailurePlan` (or
+  ``fleet.kill_worker``) injects worker deaths whose in-flight requests
+  are requeued to surviving replicas without losing a response;
 * :class:`~repro.serving.gateway.RenderGateway` is the asyncio front end
   over either service: in-flight request coalescing, bounded admission
   queues with configurable overload policies (block / shed-oldest /
@@ -45,6 +49,11 @@ from repro.serving.gateway import (
     GatewayResponse,
     RenderGateway,
 )
+from repro.serving.placement import (
+    NoLiveOwnerError,
+    PlacementEvent,
+    PlacementMap,
+)
 from repro.serving.service import (
     RenderRequest,
     RenderResponse,
@@ -60,6 +69,7 @@ from repro.serving.sharded import (
 from repro.serving.store import SceneStore
 from repro.serving.traffic import (
     TRAFFIC_PATTERNS,
+    FailurePlan,
     generate_requests,
     popularity_priority,
     scene_popularity,
@@ -68,11 +78,15 @@ from repro.serving.traffic import (
 
 __all__ = [
     "CacheStats",
+    "FailurePlan",
     "FleetReport",
     "GatewayReport",
     "GatewayResponse",
     "LRUByteCache",
+    "NoLiveOwnerError",
     "OVERLOAD_POLICIES",
+    "PlacementEvent",
+    "PlacementMap",
     "RenderGateway",
     "RenderRequest",
     "RenderResponse",

@@ -4,17 +4,32 @@ A :class:`ShardedRenderService` scales the single-process
 :class:`~repro.serving.service.RenderService` across worker processes the
 way the DarkSide-20k DAQ scales event building across time-slice processors:
 a central dispatcher partitions the request stream, independent workers each
-own a disjoint slice of the data, and a merge step reassembles an in-order
-result stream.
+own a slice of the data, and a merge step reassembles an in-order result
+stream.
 
-The partitioning is **scene affinity**: scene ``i`` of the store is owned by
-shard ``i % num_workers``, every request for a scene is routed to its one
-owner, and therefore each worker's covariance and frame caches stay hot for
-exactly the scenes it serves — no cache entry is ever duplicated across
-workers, so N workers give N times the aggregate cache budget, not N copies
-of the same working set.  Within a shard, requests keep all of
-``RenderService``'s batching and memoization, which is why the fleet's
-frames are bit-identical to a single-worker serve of the same stream.
+Placement starts from **scene affinity**: scene ``i`` of the store is
+primarily owned by shard ``i % num_workers``, so each worker's covariance
+and frame caches stay hot for the scenes it serves.  On top of that a
+:class:`~repro.serving.placement.PlacementMap` adds
+
+* **replication** — scenes flagged *hot* (``hot_scenes``/``replication``)
+  become resident on several shards, and the dispatcher routes each request
+  to the least-loaded live owner, so one viral scene no longer saturates a
+  single worker;
+* **live rebalancing** (``rebalance=True``) — replicas are promoted and
+  demoted from the traffic actually observed, without pausing the stream;
+* **failure handling** — :meth:`ShardedRenderService.kill_worker` (or a
+  seeded :class:`~repro.serving.traffic.FailurePlan`) terminates a worker
+  mid-stream; the dispatcher requeues its in-flight requests to surviving
+  replicas, or respawns the shard when a scene would otherwise lose its
+  last owner.  No response is ever lost or duplicated, and the
+  :class:`FleetReport` counters reconcile by construction
+  (``dispatched == num_requests + requeued``).
+
+Because any replica renders deterministically from a verbatim copy of the
+scene payload, fleet frames are **bit-identical** to a single-worker serve
+of the same stream regardless of placement, replication, rebalancing or
+kill schedule.
 
 Workers are long-lived ``multiprocessing`` processes, each holding its own
 sub-:class:`~repro.serving.store.SceneStore` and ``RenderService``; the
@@ -25,13 +40,15 @@ cores (see :attr:`FleetReport.critical_path_seconds`).
 
 Usage::
 
-    from repro.serving import ShardedRenderService, generate_requests
+    from repro.serving import FailurePlan, ShardedRenderService, generate_requests
 
-    with ShardedRenderService(store, num_workers=4) as fleet:
-        report = fleet.serve(generate_requests(store, 200, pattern="zipf"))
-    report.requests_per_second        # measured fleet throughput
+    trace = generate_requests(store, 200, pattern="hotspot")
+    with ShardedRenderService(store, num_workers=4, replication=2,
+                              hot_scenes=[2]) as fleet:
+        report = fleet.serve(trace, failure_plan=FailurePlan.at((50, 1)))
+    report.requeued                   # in-flight requests re-routed
+    report.placement                  # kill/respawn/replicate timeline
     report.latency_percentile(95)     # tail latency across all shards
-    report.utilization                # per-shard busy fraction
 """
 
 from __future__ import annotations
@@ -39,11 +56,22 @@ from __future__ import annotations
 import multiprocessing
 import time
 import traceback
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from collections import deque
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.gaussians.rasterize import BACKENDS, DEFAULT_BACKEND
 from repro.serving.cache import CacheStats
+from repro.serving.placement import PlacementEvent, PlacementMap
 from repro.serving.service import (
     DEFAULT_COVARIANCE_CACHE_BYTES,
     DEFAULT_FRAME_CACHE_BYTES,
@@ -54,6 +82,23 @@ from repro.serving.service import (
     ServiceReport,
 )
 from repro.serving.store import SceneStore
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.serving.traffic import FailurePlan
+
+#: Requests dispatched per round when a failure plan or rebalancing is
+#: active (smaller rounds bound the in-flight loss per kill and give the
+#: rebalancer traffic checkpoints); plain serves use one whole-stream round.
+DEFAULT_DISPATCH_WINDOW = 8
+
+#: Cache counters reported for a dead shard (its real counters died with it).
+_DEAD_CACHE_STATS = CacheStats(
+    hits=0, misses=0, evictions=0, entries=0, current_bytes=0, max_bytes=0
+)
+
+
+class _WorkerDied(RuntimeError):
+    """A worker's pipe broke mid-conversation (crash or kill)."""
 
 
 def merge_cache_stats(stats: Sequence[CacheStats]) -> CacheStats:
@@ -88,14 +133,18 @@ class ShardReport:
     shard_id:
         Position of the shard in the fleet.
     scene_indices:
-        Global store indices of the scenes this shard owns.
+        Global store indices of the scenes this shard owns (replicated
+        scenes appear on every owner).
     num_requests, num_cache_hits, num_batches:
         Request accounting of this shard for the served stream.
     busy_seconds:
-        Wall time the shard's own ``RenderService.serve`` took (0 for a
-        shard that received no requests).
+        Wall time the shard's own ``RenderService.serve`` took across all
+        dispatch rounds (0 for a shard that received no requests).
     covariance_cache, frame_cache:
-        The shard's cache counters after the serve.
+        The shard's cache counters after the serve (zeros for a shard that
+        died — its counters died with it).
+    alive:
+        Whether the shard's worker was still live when the serve finished.
     """
 
     shard_id: int
@@ -106,6 +155,7 @@ class ShardReport:
     busy_seconds: float
     covariance_cache: CacheStats
     frame_cache: CacheStats
+    alive: bool = True
 
     @property
     def requests_per_second(self) -> float:
@@ -125,13 +175,35 @@ class FleetReport(ResponseStreamStats):
     latency percentiles, cache-hit counts — comes from the shared
     :class:`~repro.serving.service.ResponseStreamStats`, with latencies
     measured within each owning shard's serve) and adds fleet-level views:
-    per-shard utilization, the critical path, and merged cache statistics.
+    per-shard utilization, the critical path, merged cache statistics, and
+    the fault/placement accounting of the serve.
+
+    The failure counters reconcile by construction::
+
+        report.dispatched == report.num_requests + report.requeued
+
+    every dispatched request was either collected (exactly one response)
+    or requeued after its worker died, never both and never neither.
     """
 
     responses: List[RenderResponse]
     wall_seconds: float
     num_workers: int
     shards: List[ShardReport]
+    #: Dispatches performed, counting each requeued request again.
+    dispatched: int = 0
+    #: In-flight requests re-routed after their worker died.
+    requeued: int = 0
+    #: Workers respawned to restore scene coverage during the serve.
+    respawned: int = 0
+    #: Shards that died during the serve (plan kills and detected crashes).
+    killed: Tuple[int, ...] = ()
+    #: Shards dead when the serve finished (dead and not respawned).
+    dead_shards: Tuple[int, ...] = ()
+    #: Placement/liveness events recorded during the serve, in order.
+    placement: Tuple[PlacementEvent, ...] = ()
+    #: ``{scene: owners}`` snapshot after the serve.
+    placement_map: Dict[int, Tuple[int, ...]] = field(default_factory=dict)
 
     @property
     def num_batches(self) -> int:
@@ -185,6 +257,10 @@ def _shard_worker_main(connection, store: SceneStore, service_kwargs: dict) -> N
 
     * ``("serve", [(local_scene_index, camera, backend, level), ...])`` ->
       ``("ok", ServiceReport)``
+    * ``("add_scene", one_scene_store)`` -> ``("ok", local_index)`` after
+      adopting the scene (payload preserved verbatim — replication)
+    * ``("remove_scene", local_index)`` -> ``("ok", None)`` after dropping
+      the scene and re-keying the caches (demotion)
     * ``("reset",)`` -> ``("ok", None)`` after dropping both caches
     * ``("stats",)`` -> ``("ok", (covariance CacheStats, frame CacheStats))``
     * ``("close",)`` -> loop exit (no response)
@@ -211,6 +287,11 @@ def _shard_worker_main(connection, store: SceneStore, service_kwargs: dict) -> N
                     for index, camera, backend, level in message[1]
                 ]
                 connection.send(("ok", service.serve(requests)))
+            elif command == "add_scene":
+                connection.send(("ok", service.adopt_scene(message[1], 0)))
+            elif command == "remove_scene":
+                service.remove_scene(message[1])
+                connection.send(("ok", None))
             elif command == "reset":
                 service.reset_caches()
                 connection.send(("ok", None))
@@ -235,8 +316,31 @@ class ShardedRenderService:
         The scene store to serve.  The fleet snapshots the store's scenes at
         construction; scenes added afterwards are not visible to workers.
     num_workers:
-        Number of shards.  Scene ``i`` is owned by shard
+        Number of shards.  Scene ``i``'s *primary* owner is shard
         ``i % num_workers``; workers beyond the scene count simply idle.
+    replication:
+        Owners per hot scene (clamped to ``num_workers``).  ``1`` (default)
+        is plain scene affinity; higher values make every scene in
+        ``hot_scenes`` resident on ``replication`` shards, with requests
+        routed to the least-loaded live owner.
+    hot_scenes:
+        Scenes to replicate: an iterable of scene ids/names, or a priority
+        callable from :func:`~repro.serving.traffic.popularity_priority`
+        (its ``hot_scenes`` attribute is used).  Ignored when
+        ``replication`` is 1.
+    rebalance:
+        ``True`` lets the dispatcher promote/demote replicas mid-stream
+        from observed traffic (see :meth:`serve`); placement changes are
+        recorded in ``placement.history`` and each ``FleetReport``.
+    rebalance_threshold:
+        A scene is promoted once its observed traffic share exceeds this
+        multiple of the uniform share, and a replica is demoted once the
+        share falls below the reciprocal multiple (hysteresis band).
+    dispatch_window:
+        Requests dispatched per round.  ``None`` (default) serves plain
+        streams in one whole-stream round (the fastest path) and switches
+        to :data:`DEFAULT_DISPATCH_WINDOW` when a failure plan or
+        rebalancing is active.
     backend, background, sh_degree, collect_stats:
         Per-shard :class:`~repro.serving.service.RenderService` settings.
     covariance_cache_bytes, frame_cache_bytes:
@@ -250,9 +354,9 @@ class ShardedRenderService:
     use_processes:
         ``True`` (default) runs each shard in its own ``multiprocessing``
         process; ``False`` keeps the shard services in-process, which shares
-        the exact routing/merge code path while serving shards sequentially
-        (useful for tests, single-core hosts and clean busy-time
-        measurement).  ``num_workers=1`` always stays in-process.
+        the exact routing/merge/failure code path while serving shards
+        sequentially (useful for tests, single-core hosts and clean
+        busy-time measurement).  ``num_workers=1`` always stays in-process.
     start_method:
         Optional ``multiprocessing`` start method (``"fork"``/``"spawn"``);
         defaults to the platform default.
@@ -265,6 +369,11 @@ class ShardedRenderService:
         self,
         store: SceneStore,
         num_workers: int = 2,
+        replication: int = 1,
+        hot_scenes=None,
+        rebalance: bool = False,
+        rebalance_threshold: float = 2.0,
+        dispatch_window: Optional[int] = None,
         backend: Optional[str] = None,
         background=(0.0, 0.0, 0.0),
         sh_degree: Optional[int] = None,
@@ -279,10 +388,26 @@ class ShardedRenderService:
             raise ValueError("num_workers must be at least 1")
         if backend is not None and backend not in BACKENDS:
             raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+        if replication < 1:
+            raise ValueError("replication must be at least 1")
+        if rebalance_threshold <= 1.0:
+            raise ValueError("rebalance_threshold must be greater than 1")
+        if dispatch_window is not None and dispatch_window < 1:
+            raise ValueError("dispatch_window must be at least 1 (or None)")
         self.store = store
         self.num_workers = int(num_workers)
         self.backend = backend or DEFAULT_BACKEND
         self.background = tuple(float(v) for v in background)
+        self.replication = min(int(replication), self.num_workers)
+        self.rebalance = bool(rebalance)
+        self.rebalance_threshold = float(rebalance_threshold)
+        # Rebalancing with replication=1 still needs somewhere to promote to.
+        self._target_replication = (
+            max(self.replication, 2) if self.rebalance else self.replication
+        )
+        self.dispatch_window = (
+            int(dispatch_window) if dispatch_window is not None else None
+        )
         self._service_kwargs = dict(
             backend=backend,
             background=self.background,
@@ -293,69 +418,176 @@ class ShardedRenderService:
             lod_policy=lod_policy,
         )
 
-        # Scene-affinity sharding: global scene i -> (owner shard, index in
-        # the shard's own sub-store).
-        self._shard_of_scene: List[int] = []
-        self._local_index: List[int] = []
-        self._scenes_of_shard: List[List[int]] = [
-            [] for _ in range(self.num_workers)
-        ]
-        for index in range(len(store)):
-            shard = index % self.num_workers
-            self._shard_of_scene.append(shard)
-            self._local_index.append(len(self._scenes_of_shard[shard]))
-            self._scenes_of_shard[shard].append(index)
-
-        # build_substore preserves the store's tier: a compressed store's
-        # shards carry the quantized payloads and LOD pyramids verbatim.
-        sub_stores = [
-            store.build_substore(indices) for indices in self._scenes_of_shard
-        ]
+        # hot_scenes accepts scene ids/names or a popularity_priority
+        # callable (which carries the chosen set as an attribute).
+        if hot_scenes is None:
+            hot: Tuple[int, ...] = ()
+        else:
+            chosen = getattr(hot_scenes, "hot_scenes", hot_scenes)
+            hot = tuple(sorted(store.resolve_index(s) for s in chosen))
+        self.placement = PlacementMap(
+            len(store),
+            self.num_workers,
+            replication=self.replication,
+            hot_scenes=hot,
+        )
 
         self._closed = False
         self._use_processes = bool(use_processes) and self.num_workers > 1
+        self._context = None
         if self._use_processes:
-            context = (
+            self._context = (
                 multiprocessing.get_context(start_method)
                 if start_method
                 else multiprocessing.get_context()
             )
-            self._connections = []
-            self._processes = []
-            for sub_store in sub_stores:
-                parent_end, child_end = context.Pipe()
-                process = context.Process(
-                    target=_shard_worker_main,
-                    args=(child_end, sub_store, self._service_kwargs),
-                    daemon=True,
-                )
-                process.start()
-                child_end.close()
-                self._connections.append(parent_end)
-                self._processes.append(process)
-            self._services = None
+        self._connections: List[Optional[object]] = [None] * self.num_workers
+        self._processes: List[Optional[object]] = [None] * self.num_workers
+        self._services: List[Optional[RenderService]] = [None] * self.num_workers
+        # Per shard: global scene index -> index in the worker's sub-store.
+        self._local_index: List[Dict[int, int]] = [
+            {} for _ in range(self.num_workers)
+        ]
+        self._alive: List[bool] = [True] * self.num_workers
+        # Lifetime dispatch counter; stamps placement events so histories
+        # read as a timeline of the request stream.
+        self._dispatched_total = 0
+        for shard in range(self.num_workers):
+            self._spawn_shard(shard)
+
+    # ------------------------------------------------------------------ #
+    # Worker lifecycle
+    # ------------------------------------------------------------------ #
+    def _spawn_shard(self, shard: int) -> None:
+        """(Re)create one shard's worker with its current placement scenes.
+
+        ``build_substore`` preserves the store's tier, so a compressed
+        store's shards carry the quantized payloads and LOD pyramids
+        verbatim — the root of the fleet's bit-identity guarantee.
+        """
+        indices = list(self.placement.scenes_of(shard))
+        sub_store = self.store.build_substore(indices)
+        self._local_index[shard] = {
+            scene: local for local, scene in enumerate(indices)
+        }
+        if self._use_processes:
+            parent_end, child_end = self._context.Pipe()
+            process = self._context.Process(
+                target=_shard_worker_main,
+                args=(child_end, sub_store, self._service_kwargs),
+                daemon=True,
+            )
+            process.start()
+            child_end.close()
+            self._connections[shard] = parent_end
+            self._processes[shard] = process
         else:
-            self._connections = None
-            self._processes = None
-            self._services = [
-                RenderService(sub_store, **self._service_kwargs)
-                for sub_store in sub_stores
-            ]
+            self._services[shard] = RenderService(
+                sub_store, **self._service_kwargs
+            )
+        self._alive[shard] = True
+
+    def kill_worker(self, shard: int) -> None:
+        """Terminate one worker, as a fault injection.
+
+        The shard's process is killed immediately (its in-flight work and
+        cache contents are lost); the placement map is *not* changed —
+        death is a liveness filter, so a later respawn resumes exactly the
+        scene set the shard owned.  The next :meth:`serve` round requeues
+        any of its in-flight requests to surviving replicas and respawns
+        the shard if a scene would otherwise have no live owner.
+        """
+        self._check_open()
+        shard = int(shard)
+        if not 0 <= shard < self.num_workers:
+            raise IndexError(
+                f"shard {shard} out of range for {self.num_workers} workers"
+            )
+        if not self._alive[shard]:
+            raise ValueError(f"worker {shard} is already dead")
+        if self._use_processes:
+            process = self._processes[shard]
+            if process is not None and process.is_alive():
+                process.terminate()
+        self._mark_dead(shard)
+
+    def _mark_dead(self, shard: int) -> None:
+        """Record a worker's death and drop its endpoints (idempotent).
+
+        Closing the parent pipe end discards any completed-but-uncollected
+        reply, so the in-flight requests of a killed shard are *always*
+        requeued — which is what makes the ``requeued`` counter a
+        deterministic function of the stream and the kill schedule.
+        """
+        if not self._alive[shard]:
+            return
+        self._alive[shard] = False
+        self.placement.record(
+            "kill", position=self._dispatched_total, scene=None, shard=shard
+        )
+        if self._use_processes:
+            connection = self._connections[shard]
+            if connection is not None:
+                try:
+                    connection.close()
+                except OSError:
+                    pass
+            self._connections[shard] = None
+            process = self._processes[shard]
+            if process is not None:
+                process.join(timeout=5.0)
+                if process.is_alive():
+                    process.terminate()
+                    process.join(timeout=5.0)
+            self._processes[shard] = None
+        else:
+            self._services[shard] = None
+
+    def _respawn(self, shard: int) -> None:
+        """Bring a dead shard back with its placement scene set (cold caches)."""
+        self._spawn_shard(shard)
+        self.placement.record(
+            "respawn", position=self._dispatched_total, scene=None, shard=shard
+        )
+
+    def _ensure_coverage(self) -> None:
+        """Respawn primaries until every scene has a live owner again."""
+        dead = self._dead_set()
+        for scene in range(self.placement.num_scenes):
+            if not self.placement.live_owners(scene, dead):
+                self._respawn(self.placement.primary(scene))
+                dead = self._dead_set()
+
+    def _dead_set(self) -> FrozenSet[int]:
+        """Shards currently dead (the placement map's liveness filter)."""
+        return frozenset(
+            shard for shard, alive in enumerate(self._alive) if not alive
+        )
+
+    @property
+    def alive_workers(self) -> Tuple[int, ...]:
+        """Ids of the workers currently live."""
+        return tuple(
+            shard for shard, alive in enumerate(self._alive) if alive
+        )
 
     # ------------------------------------------------------------------ #
     # Worker RPC
     # ------------------------------------------------------------------ #
     def _call(self, shard: int, message: tuple):
         """Send one command to a shard worker and return its reply payload."""
-        self._connections[shard].send(message)
+        try:
+            self._connections[shard].send(message)
+        except (BrokenPipeError, OSError):
+            raise _WorkerDied(f"shard {shard} worker exited unexpectedly")
         return self._receive(shard)
 
     def _receive(self, shard: int):
         """Receive one reply from a shard worker, raising on failure."""
         try:
             status, payload = self._connections[shard].recv()
-        except EOFError:
-            raise RuntimeError(f"shard {shard} worker exited unexpectedly")
+        except (EOFError, OSError):
+            raise _WorkerDied(f"shard {shard} worker exited unexpectedly")
         if status != "ok":
             raise RuntimeError(f"shard {shard} worker failed:\n{payload}")
         return payload
@@ -367,24 +599,42 @@ class ShardedRenderService:
     # ------------------------------------------------------------------ #
     # Serving
     # ------------------------------------------------------------------ #
-    def serve(self, requests: Iterable[RenderRequest]) -> FleetReport:
+    def serve(
+        self,
+        requests: Iterable[RenderRequest],
+        failure_plan: Optional["FailurePlan"] = None,
+        dispatch_window: Optional[int] = None,
+    ) -> FleetReport:
         """Serve a request stream across the fleet.
 
-        Requests are routed to their scene's owning shard, all active shards
-        serve concurrently (in process mode), and the responses are merged
-        back into request order.  Each response is bit-identical to what a
+        The stream is dispatched in rounds: each round routes a window of
+        requests to the least-loaded live owner of each scene (dispatcher-
+        side assigned-request counts — a deterministic function of the
+        stream, so replays route identically), the owning shards serve
+        concurrently (in process mode), and the responses are merged back
+        into request-id order.  Each response is bit-identical to what a
         single-worker :class:`~repro.serving.service.RenderService` — or a
         standalone :func:`repro.gaussians.pipeline.render` — would produce
-        for that request.
+        for that request, whatever the placement or kill schedule.
+
+        ``failure_plan`` injects worker deaths mid-stream: each plan entry
+        fires once its dispatch position is reached, the killed shard's
+        in-flight requests are requeued to surviving replicas, and a shard
+        whose death leaves any scene with no live owner is respawned (cold
+        caches, same scene set).  ``dispatch_window`` overrides the
+        fleet's round size for this serve.  With ``rebalance=True``,
+        round boundaries also promote/demote replicas from the traffic
+        observed so far.
         """
         self._check_open()
         start = time.perf_counter()
         requests = list(requests)
+        history_start = len(self.placement.history)
 
-        # Route each request to its scene's owner shard.
-        positions_of_shard: Dict[int, List[int]] = {}
+        # Resolve and validate up front so a bad request raises before any
+        # dispatch, leaving no pipe desynced.
         resolved: List[int] = []
-        for position, request in enumerate(requests):
+        for request in requests:
             scene_index = self.store.resolve_index(request.scene_id)
             backend = request.backend
             if backend is not None and backend not in BACKENDS:
@@ -392,68 +642,128 @@ class ShardedRenderService:
                     f"unknown backend {backend!r}; choose from {BACKENDS}"
                 )
             resolved.append(scene_index)
-            shard = self._shard_of_scene[scene_index]
-            positions_of_shard.setdefault(shard, []).append(position)
-
-        active = sorted(positions_of_shard)
-        payloads = {
-            shard: [
-                (
-                    self._local_index[resolved[position]],
-                    requests[position].camera,
-                    requests[position].backend,
-                    requests[position].level,
-                )
-                for position in positions_of_shard[shard]
-            ]
-            for shard in active
-        }
-
-        # Dispatch to every active shard first, then collect: in process
-        # mode the workers overlap; in-process mode serves them in turn.
-        shard_results: Dict[int, ServiceReport] = {}
-        busy_seconds: Dict[int, float] = {}
-        if self._use_processes:
-            for shard in active:
-                self._connections[shard].send(("serve", payloads[shard]))
-            # Collect from every dispatched shard even if one fails: leaving
-            # a reply unread would desync that pipe and hand a later command
-            # a stale report.
-            first_error = None
-            for shard in active:
-                try:
-                    report = self._receive(shard)
-                except RuntimeError as error:
-                    if first_error is None:
-                        first_error = error
-                    continue
-                shard_results[shard] = report
-                busy_seconds[shard] = report.wall_seconds
-            if first_error is not None:
-                raise first_error
-        else:
-            for shard in active:
-                local_requests = [
-                    RenderRequest(
-                        scene_id=index, camera=camera, backend=backend,
-                        level=level,
+        if failure_plan is not None:
+            for _, worker in failure_plan.kills:
+                if worker >= self.num_workers:
+                    raise ValueError(
+                        f"failure plan kills worker {worker}, but the fleet "
+                        f"has only {self.num_workers} workers"
                     )
-                    for index, camera, backend, level in payloads[shard]
-                ]
-                report = self._services[shard].serve(local_requests)
-                shard_results[shard] = report
-                busy_seconds[shard] = report.wall_seconds
 
-        # Merge, restoring global identities so the fleet report reads
-        # exactly like a single-worker one.
+        window = (
+            dispatch_window if dispatch_window is not None
+            else self.dispatch_window
+        )
+        chaos = bool(failure_plan and len(failure_plan)) or self.rebalance
+        if window is None:
+            window = DEFAULT_DISPATCH_WINDOW if chaos else max(len(requests), 1)
+        window = max(int(window), 1)
+
         responses: List[Optional[RenderResponse]] = [None] * len(requests)
-        shard_reports: List[ShardReport] = []
-        for shard in range(self.num_workers):
-            report = shard_results.get(shard)
-            if report is not None:
-                for position, response in zip(
-                    positions_of_shard[shard], report.responses
-                ):
+        completed = [0] * self.num_workers
+        cache_hits = [0] * self.num_workers
+        batch_counts = [0] * self.num_workers
+        busy = [0.0] * self.num_workers
+        last_stats: List[Optional[Tuple[CacheStats, CacheStats]]] = (
+            [None] * self.num_workers
+        )
+        # Deterministic load signal: requests assigned per shard this serve.
+        assigned_load: Dict[int, int] = {
+            shard: 0 for shard in range(self.num_workers)
+        }
+        scene_traffic = [0] * self.placement.num_scenes
+        counted = [False] * len(requests)
+        dispatched = 0
+        requeued = 0
+        fired = 0
+        # A request is requeued at most once per kill, and each worker dies
+        # at most once per plan — anything past this bound is a cycle.
+        requeue_guard = 3 * max(len(requests), 1) + 2 * self.num_workers
+
+        pending = deque(range(len(requests)))
+        self._ensure_coverage()  # kills may have landed between serves
+
+        while pending:
+            round_positions = [
+                pending.popleft() for _ in range(min(window, len(pending)))
+            ]
+            dead = self._dead_set()
+            assignment: Dict[int, List[int]] = {}
+            for position in round_positions:
+                scene = resolved[position]
+                shard = self.placement.route(
+                    scene, load=assigned_load, dead=dead
+                )
+                assignment.setdefault(shard, []).append(position)
+                assigned_load[shard] += 1
+                if not counted[position]:
+                    counted[position] = True
+                    scene_traffic[scene] += 1
+
+            # Dispatch to every assigned shard first (process mode), then
+            # collect in the same order; in-process shards render at
+            # collect time, so a kill landing between dispatch and collect
+            # loses the same in-flight work in both modes.
+            if self._use_processes:
+                for shard in sorted(assignment):
+                    payload = [
+                        (
+                            self._local_index[shard][resolved[position]],
+                            requests[position].camera,
+                            requests[position].backend,
+                            requests[position].level,
+                        )
+                        for position in assignment[shard]
+                    ]
+                    try:
+                        self._connections[shard].send(("serve", payload))
+                    except (BrokenPipeError, OSError):
+                        self._mark_dead(shard)  # crash detected at dispatch
+            dispatched += len(round_positions)
+            self._dispatched_total += len(round_positions)
+
+            # Fire the kills the plan schedules at this point in the stream.
+            if failure_plan is not None:
+                for _, worker in failure_plan.due(dispatched, fired):
+                    fired += 1
+                    if self._alive[worker]:
+                        self.kill_worker(worker)
+
+            # Collect every dispatched shard even if one fails: leaving a
+            # reply unread would desync that pipe.  In-flight work of any
+            # shard that died this round is requeued.
+            first_error: Optional[RuntimeError] = None
+            requeue_positions: List[int] = []
+            for shard in sorted(assignment):
+                positions = assignment[shard]
+                if not self._alive[shard]:
+                    requeue_positions.extend(positions)
+                    continue
+                if self._use_processes:
+                    try:
+                        report: ServiceReport = self._receive(shard)
+                    except _WorkerDied:
+                        self._mark_dead(shard)
+                        requeue_positions.extend(positions)
+                        continue
+                    except RuntimeError as error:
+                        if first_error is None:
+                            first_error = error
+                        continue
+                else:
+                    local_requests = [
+                        RenderRequest(
+                            scene_id=self._local_index[shard][resolved[position]],
+                            camera=requests[position].camera,
+                            backend=requests[position].backend,
+                            level=requests[position].level,
+                        )
+                        for position in positions
+                    ]
+                    report = self._services[shard].serve(local_requests)
+                # Merge, restoring global identities so the fleet report
+                # reads exactly like a single-worker one.
+                for position, response in zip(positions, report.responses):
                     scene_index = resolved[position]
                     response.request = requests[position]
                     response.scene_index = scene_index
@@ -461,24 +771,56 @@ class ShardedRenderService:
                         (scene_index,) + tuple(response.frame_key[1:])
                     )
                     responses[position] = response
-                covariance_stats = report.covariance_cache
-                frame_stats = report.frame_cache
-                num_requests = report.num_requests
-                num_cache_hits = report.num_cache_hits
-                num_batches = report.num_batches
-            else:
+                completed[shard] += report.num_requests
+                cache_hits[shard] += report.num_cache_hits
+                batch_counts[shard] += report.num_batches
+                busy[shard] += report.wall_seconds
+                last_stats[shard] = (
+                    report.covariance_cache, report.frame_cache
+                )
+            if first_error is not None:
+                raise first_error
+
+            if requeue_positions:
+                requeued += len(requeue_positions)
+                if requeued > requeue_guard:
+                    raise RuntimeError(
+                        "requeue limit exceeded; the fleet cannot stabilise"
+                    )
+                # Requeue to the front, in position order, so replays are
+                # deterministic and merged output stays request-ordered.
+                for position in sorted(requeue_positions, reverse=True):
+                    pending.appendleft(position)
+
+            # Restore coverage before the next routing pass, then let the
+            # traffic observed so far adjust the placement.
+            self._ensure_coverage()
+            if self.rebalance:
+                self._rebalance_step(
+                    scene_traffic, sum(scene_traffic), assigned_load
+                )
+
+        events = tuple(self.placement.history[history_start:])
+        shard_reports: List[ShardReport] = []
+        for shard in range(self.num_workers):
+            alive = self._alive[shard]
+            if last_stats[shard] is not None:
+                covariance_stats, frame_stats = last_stats[shard]
+            elif alive:
                 covariance_stats, frame_stats = self._idle_shard_stats(shard)
-                num_requests = num_cache_hits = num_batches = 0
+            else:
+                covariance_stats = frame_stats = _DEAD_CACHE_STATS
             shard_reports.append(
                 ShardReport(
                     shard_id=shard,
-                    scene_indices=tuple(self._scenes_of_shard[shard]),
-                    num_requests=num_requests,
-                    num_cache_hits=num_cache_hits,
-                    num_batches=num_batches,
-                    busy_seconds=busy_seconds.get(shard, 0.0),
+                    scene_indices=self.placement.scenes_of(shard),
+                    num_requests=completed[shard],
+                    num_cache_hits=cache_hits[shard],
+                    num_batches=batch_counts[shard],
+                    busy_seconds=busy[shard],
                     covariance_cache=covariance_stats,
                     frame_cache=frame_stats,
+                    alive=alive,
                 )
             )
 
@@ -487,21 +829,123 @@ class ShardedRenderService:
             wall_seconds=time.perf_counter() - start,
             num_workers=self.num_workers,
             shards=shard_reports,
+            dispatched=dispatched,
+            requeued=requeued,
+            respawned=sum(1 for e in events if e.kind == "respawn"),
+            killed=tuple(e.shard for e in events if e.kind == "kill"),
+            dead_shards=tuple(sorted(self._dead_set())),
+            placement=events,
+            placement_map=self.placement.snapshot(),
         )
 
+    # ------------------------------------------------------------------ #
+    # Live rebalancing
+    # ------------------------------------------------------------------ #
+    def _rebalance_step(
+        self,
+        scene_traffic: List[int],
+        observed: int,
+        assigned_load: Dict[int, int],
+    ) -> None:
+        """Promote/demote replicas from the traffic observed so far.
+
+        A scene whose observed share exceeds ``rebalance_threshold`` times
+        the uniform share gains a replica on the least-loaded live
+        non-owner (up to the target replication); a replicated scene whose
+        share falls below the reciprocal multiple loses its most recently
+        promoted replica.  The thresholds form a hysteresis band so the
+        placement does not thrash around the boundary.
+        """
+        num_scenes = self.placement.num_scenes
+        if num_scenes < 2 or observed < 2 * self.num_workers:
+            return  # too little signal to act on
+        uniform = observed / num_scenes
+        hottest_first = sorted(
+            range(num_scenes), key=lambda s: (-scene_traffic[s], s)
+        )
+        for scene in hottest_first:
+            count = scene_traffic[scene]
+            replicas = self.placement.replica_count(scene)
+            if (
+                count >= self.rebalance_threshold * uniform
+                and replicas < self._target_replication
+            ):
+                candidates = [
+                    shard
+                    for shard in range(self.num_workers)
+                    if self._alive[shard]
+                    and shard not in self.placement.owners(scene)
+                ]
+                if candidates:
+                    target = min(
+                        candidates,
+                        key=lambda shard: (assigned_load[shard], shard),
+                    )
+                    self._add_replica(scene, target)
+            elif count * self.rebalance_threshold <= uniform and replicas > 1:
+                self._remove_replica(scene, self.placement.owners(scene)[-1])
+
+    def _add_replica(self, scene: int, shard: int) -> bool:
+        """Make ``scene`` resident on ``shard`` without pausing the stream.
+
+        Ships a one-scene sub-store over the pipe (payload preserved
+        verbatim, so the replica renders bit-identically) and records the
+        promotion.  Returns ``False`` if the worker died mid-transfer.
+        """
+        sub_store = self.store.build_substore([scene])
+        if self._use_processes:
+            try:
+                local = self._call(shard, ("add_scene", sub_store))
+            except _WorkerDied:
+                self._mark_dead(shard)
+                return False
+        else:
+            local = self._services[shard].adopt_scene(sub_store, 0)
+        self._local_index[shard][scene] = local
+        self.placement.add_replica(
+            scene, shard, position=self._dispatched_total
+        )
+        return True
+
+    def _remove_replica(self, scene: int, shard: int) -> None:
+        """Drop ``scene`` from ``shard`` (demotion), re-keying its caches.
+
+        The worker compacts its sub-store, which renumbers every later
+        scene — the dispatcher shifts its local-index map the same way the
+        worker re-keys its caches, so the two stay aligned.
+        """
+        local = self._local_index[shard].pop(scene)
+        if self._alive[shard]:
+            if self._use_processes:
+                try:
+                    self._call(shard, ("remove_scene", local))
+                except _WorkerDied:
+                    self._mark_dead(shard)
+            else:
+                self._services[shard].remove_scene(local)
+        for other, index in self._local_index[shard].items():
+            if index > local:
+                self._local_index[shard][other] = index - 1
+        self.placement.remove_replica(
+            scene, shard, position=self._dispatched_total
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
     def _idle_shard_stats(self, shard: int) -> Tuple[CacheStats, CacheStats]:
-        """Current cache counters of a shard that served no requests."""
+        """Current cache counters of a live shard that served no requests."""
         if self._use_processes:
             return self._call(shard, ("stats",))
         service = self._services[shard]
         return service.covariance_cache.stats(), service.frame_cache.stats()
 
     def submit(self, request: RenderRequest) -> RenderResponse:
-        """Serve a single request through its owning shard."""
+        """Serve a single request through a live owner of its scene."""
         return self.serve([request]).responses[0]
 
     def cache_stats(self) -> Tuple[CacheStats, CacheStats]:
-        """Fleet-merged ``(covariance, frame)`` cache counters.
+        """Fleet-merged ``(covariance, frame)`` cache counters (live shards).
 
         Mirrors :meth:`RenderService.cache_stats
         <repro.serving.service.RenderService.cache_stats>` so gateway-style
@@ -509,7 +953,9 @@ class ShardedRenderService:
         """
         self._check_open()
         per_shard = [
-            self._idle_shard_stats(shard) for shard in range(self.num_workers)
+            self._idle_shard_stats(shard)
+            for shard in range(self.num_workers)
+            if self._alive[shard]
         ]
         return (
             merge_cache_stats([stats[0] for stats in per_shard]),
@@ -517,39 +963,55 @@ class ShardedRenderService:
         )
 
     def reset_caches(self) -> None:
-        """Drop every shard's caches (cold-trace benchmarking, tenant swap)."""
+        """Drop every live shard's caches (cold-trace benchmarking)."""
         self._check_open()
-        if self._use_processes:
-            for connection in self._connections:
-                connection.send(("reset",))
-            for shard in range(self.num_workers):
-                self._receive(shard)
-        else:
-            for service in self._services:
-                service.reset_caches()
+        for shard in range(self.num_workers):
+            if not self._alive[shard]:
+                continue
+            if self._use_processes:
+                self._call(shard, ("reset",))
+            else:
+                self._services[shard].reset_caches()
 
     # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
     def close(self) -> None:
-        """Shut the worker processes down (idempotent)."""
+        """Shut the worker processes down (idempotent).
+
+        Safe to call with replies still in flight — e.g. when ``serve``
+        raised between dispatch and collect: pending replies are drained
+        first so a worker blocked sending a large frame can exit, and a
+        worker that still does not exit is terminated.  Dead shards are
+        skipped.
+        """
         if self._closed:
             return
         self._closed = True
         if not self._use_processes:
             return
         for connection in self._connections:
+            if connection is None:
+                continue
+            try:
+                while connection.poll(0):
+                    connection.recv()
+            except (EOFError, OSError):
+                pass
             try:
                 connection.send(("close",))
             except (BrokenPipeError, OSError):
                 pass
         for process in self._processes:
+            if process is None:
+                continue
             process.join(timeout=5.0)
             if process.is_alive():
                 process.terminate()
                 process.join(timeout=5.0)
         for connection in self._connections:
-            connection.close()
+            if connection is not None:
+                connection.close()
 
     def __enter__(self) -> "ShardedRenderService":
         return self

@@ -337,6 +337,20 @@ class SceneStore:
         """
         return SceneStore(self.get_scene(index) for index in indices)
 
+    def adopt_scene(self, source: "SceneStore", index: Union[int, str] = 0) -> int:
+        """Copy scene ``index`` of ``source`` into this store; return its index.
+
+        The tier-preserving twin of :meth:`add_scene` for store-to-store
+        transfer: a plain store copies the decoded scene, while tiers like
+        :class:`~repro.compression.store.CompressedSceneStore` override it
+        to carry the source's payload *verbatim* (never re-encoding a lossy
+        codec).  This is what lets the sharded dispatcher ship a hot scene
+        to a replica shard over a pipe — as a one-scene
+        :meth:`build_substore` — with fleet frames staying bit-identical
+        per detail level.
+        """
+        return self.add_scene(source.get_scene(index))
+
     # ------------------------------------------------------------------ #
     # Reading (zero-copy)
     # ------------------------------------------------------------------ #

@@ -29,7 +29,8 @@ Usage::
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -210,6 +211,98 @@ def popularity_priority(
 
     priority_of.hot_scenes = hot_scenes
     return priority_of
+
+
+@dataclass(frozen=True)
+class FailurePlan:
+    """Deterministic kill schedule for chaos-testing a sharded fleet.
+
+    A plan is a sorted tuple of ``(position, worker)`` pairs: once the
+    dispatcher has dispatched at least ``position`` requests, ``worker`` is
+    killed mid-stream (its in-flight requests are requeued to surviving
+    replicas, or the shard is respawned — see
+    :meth:`~repro.serving.sharded.ShardedRenderService.serve`).  Like the
+    request streams of this module, a plan is a pure value: the same plan
+    replayed against the same seeded trace produces the same kill points,
+    requeue counts and placement history, which is what the golden-replay
+    chaos tests pin.
+
+    Usage::
+
+        plan = FailurePlan.at((10, 1))               # kill worker 1 at 10
+        plan = FailurePlan.seeded(num_workers=4, num_requests=80,
+                                  num_kills=2, seed=7)
+    """
+
+    kills: Tuple[Tuple[int, int], ...]
+
+    def __post_init__(self):
+        """Validate that kill positions are sorted and workers distinct."""
+        previous = -1
+        seen = set()
+        for position, worker in self.kills:
+            if position < 0:
+                raise ValueError("kill positions must be non-negative")
+            if position < previous:
+                raise ValueError("kills must be sorted by position")
+            if worker < 0:
+                raise ValueError("worker ids must be non-negative")
+            if worker in seen:
+                raise ValueError(
+                    f"worker {worker} is killed twice; each worker can "
+                    "die at most once per plan"
+                )
+            seen.add(worker)
+            previous = position
+
+    @classmethod
+    def at(cls, *kills: Tuple[int, int]) -> "FailurePlan":
+        """Build a plan from explicit ``(position, worker)`` pairs."""
+        return cls(kills=tuple(sorted((int(p), int(w)) for p, w in kills)))
+
+    @classmethod
+    def seeded(
+        cls,
+        num_workers: int,
+        num_requests: int,
+        num_kills: int = 1,
+        seed: int = 0,
+    ) -> "FailurePlan":
+        """A seeded schedule killing ``num_kills`` distinct workers mid-stream.
+
+        Victims are a seeded sample of the fleet (at most ``num_workers - 1``
+        so one worker always survives without needing a respawn), and kill
+        positions are seeded draws from the interior of the stream — never
+        position 0, so every run serves at least one request before the
+        first failure.  A pure function of its arguments.
+        """
+        if num_workers < 2:
+            raise ValueError("seeded plans need at least 2 workers")
+        if num_requests < 2:
+            raise ValueError("seeded plans need at least 2 requests")
+        num_kills = int(num_kills)
+        if not 1 <= num_kills <= num_workers - 1:
+            raise ValueError(
+                f"num_kills must be in [1, {num_workers - 1}] "
+                f"for {num_workers} workers"
+            )
+        rng = np.random.default_rng(seed)
+        workers = rng.permutation(num_workers)[:num_kills]
+        positions = rng.integers(1, num_requests, size=num_kills)
+        return cls.at(*zip(positions.tolist(), workers.tolist()))
+
+    def __len__(self) -> int:
+        return len(self.kills)
+
+    def due(self, position: int, fired: int) -> Tuple[Tuple[int, int], ...]:
+        """Kills triggered once ``position`` requests have been dispatched.
+
+        ``fired`` is how many kills the caller has already executed; the
+        returned pairs are the next ones whose position has been reached.
+        """
+        return tuple(
+            kill for kill in self.kills[fired:] if kill[0] <= position
+        )
 
 
 def synthetic_request_trace(

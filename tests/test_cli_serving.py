@@ -169,6 +169,57 @@ class TestServeCommand:
         assert "shard 0:" in out and "detail levels served" in out
 
 
+class TestServeChaosFlags:
+    def test_replicate_hot_and_kill_at(self, capsys):
+        assert main([
+            "serve", *SMALL, "--requests", "24", "--workers", "2",
+            "--traffic", "hotspot", "--seed", "1",
+            "--replicate-hot", "2", "--kill-at", "10:1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "served 24 requests" in out
+        assert "fault accounting:" in out
+        assert "killed [1]" in out
+        assert "kill on shard 1" in out
+        # dispatched = completed + requeued is printed straight from the
+        # report, whose counters reconcile by construction.
+        assert "dispatched = 24 completed" in out
+
+    def test_rebalance_flag(self, capsys):
+        assert main([
+            "serve", *SMALL, "--requests", "30", "--workers", "2",
+            "--traffic", "hotspot", "--seed", "1", "--rebalance",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "served 30 requests" in out
+
+    def test_chaos_flags_need_workers(self, capsys):
+        for flags in (["--replicate-hot", "2"], ["--rebalance"],
+                      ["--kill-at", "5:0"]):
+            assert main(["serve", *SMALL, "--requests", "6", *flags]) == 2
+            err = capsys.readouterr().err
+            assert "need --workers > 1" in err
+
+    def test_kill_at_rejects_bad_specs(self, capsys):
+        assert main([
+            "serve", *SMALL, "--requests", "6", "--workers", "2",
+            "--kill-at", "oops",
+        ]) == 2
+        assert "expected POS:WORKER" in capsys.readouterr().err
+        assert main([
+            "serve", *SMALL, "--requests", "6", "--workers", "2",
+            "--kill-at", "3:9",
+        ]) == 2
+        assert "only 2" in capsys.readouterr().err
+
+    def test_kill_at_is_incompatible_with_async(self, capsys):
+        assert main([
+            "serve", *SMALL, "--requests", "6", "--workers", "2",
+            "--async", "--kill-at", "3:1",
+        ]) == 2
+        assert "--async" in capsys.readouterr().err
+
+
 class TestServeAsyncGateway:
     def test_async_serve_reports_gateway_counters(self, capsys):
         assert main([

@@ -1,0 +1,192 @@
+"""Property-based tests for the scene-to-shard placement layer.
+
+Hypothesis drives :class:`~repro.serving.placement.PlacementMap` through
+random fleet shapes, hot sets, mutation sequences and death patterns,
+pinning the invariants the chaos harness relies on:
+
+* every scene always has at least one owner, owners are distinct shards in
+  range, and the primary owner is the affinity shard;
+* routing never targets a dead shard, always returns an owner, and picks
+  the least-loaded live owner (ties to the lowest shard id);
+* promotions/demotions keep the invariants and append an accurate history.
+
+A small end-to-end test then checks the sorted-response contract on a real
+replicated fleet.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gaussians.synthetic import SyntheticConfig, make_synthetic_scene
+from repro.serving import (
+    NoLiveOwnerError,
+    PlacementMap,
+    RenderService,
+    SceneStore,
+    ShardedRenderService,
+    generate_requests,
+)
+
+#: One shared shape strategy: small fleets, a few scenes, optional hot set.
+fleet_shapes = st.tuples(
+    st.integers(min_value=1, max_value=12),   # num_scenes
+    st.integers(min_value=1, max_value=6),    # num_workers
+    st.integers(min_value=1, max_value=4),    # replication
+    st.integers(min_value=0, max_value=2**31 - 1),  # seed for hot set / deaths
+)
+
+
+def _build(num_scenes, num_workers, replication, seed):
+    """A PlacementMap with a seeded hot subset of the scenes."""
+    rng = np.random.default_rng(seed)
+    hot = [
+        scene for scene in range(num_scenes) if rng.random() < 0.4
+    ]
+    return PlacementMap(
+        num_scenes, num_workers, replication=replication, hot_scenes=hot
+    )
+
+
+class TestStructuralInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(fleet_shapes)
+    def test_construction_satisfies_invariants(self, shape):
+        placement = _build(*shape)
+        placement.check_invariants()
+        num_scenes, num_workers, replication, _ = shape
+        for scene in range(num_scenes):
+            owners = placement.owners(scene)
+            assert owners[0] == scene % num_workers
+            assert len(set(owners)) == len(owners)
+            assert all(0 <= shard < num_workers for shard in owners)
+            if scene in placement.hot_scenes:
+                assert len(owners) == min(replication, num_workers)
+            else:
+                assert len(owners) == 1
+
+    @settings(max_examples=60, deadline=None)
+    @given(fleet_shapes)
+    def test_scenes_of_is_the_transpose_of_owners(self, shape):
+        placement = _build(*shape)
+        for shard in range(placement.num_workers):
+            scenes = placement.scenes_of(shard)
+            assert list(scenes) == sorted(scenes)
+            for scene in range(placement.num_scenes):
+                assert (scene in scenes) == (shard in placement.owners(scene))
+
+
+class TestRouting:
+    @settings(max_examples=60, deadline=None)
+    @given(fleet_shapes, st.integers(min_value=0, max_value=2**31 - 1))
+    def test_route_targets_a_live_least_loaded_owner(self, shape, seed):
+        placement = _build(*shape)
+        rng = np.random.default_rng(seed)
+        load = {
+            shard: int(rng.integers(0, 10))
+            for shard in range(placement.num_workers)
+        }
+        # Kill a random strict subset of the workers.
+        dead = frozenset(
+            shard for shard in range(placement.num_workers)
+            if rng.random() < 0.3
+        )
+        for scene in range(placement.num_scenes):
+            live = placement.live_owners(scene, dead)
+            if not live:
+                with pytest.raises(NoLiveOwnerError):
+                    placement.route(scene, load=load, dead=dead)
+                continue
+            chosen = placement.route(scene, load=load, dead=dead)
+            assert chosen in live                   # never a dead shard
+            best = min(load[shard] for shard in live)
+            assert load[chosen] == best             # least-loaded
+            assert chosen == min(                   # ties to lowest id
+                shard for shard in live if load[shard] == best
+            )
+
+    @settings(max_examples=30, deadline=None)
+    @given(fleet_shapes)
+    def test_route_without_load_prefers_lowest_owner(self, shape):
+        placement = _build(*shape)
+        for scene in range(placement.num_scenes):
+            assert placement.route(scene) == min(placement.owners(scene))
+
+
+class TestMutation:
+    @settings(max_examples=60, deadline=None)
+    @given(fleet_shapes, st.integers(min_value=0, max_value=2**31 - 1))
+    def test_random_promote_demote_keeps_invariants_and_history(
+        self, shape, seed
+    ):
+        placement = _build(*shape)
+        rng = np.random.default_rng(seed)
+        history_before = len(placement.history)
+        mutations = 0
+        for _ in range(12):
+            if placement.num_scenes == 0:
+                break
+            scene = int(rng.integers(placement.num_scenes))
+            shard = int(rng.integers(placement.num_workers))
+            owners = placement.owners(scene)
+            if shard not in owners:
+                placement.add_replica(scene, shard, position=mutations)
+                mutations += 1
+            elif shard != owners[0]:
+                placement.remove_replica(scene, shard, position=mutations)
+                mutations += 1
+            placement.check_invariants()
+        assert len(placement.history) == history_before + mutations
+        kinds = {event.kind for event in placement.history}
+        assert kinds <= {"replicate", "demote"}
+
+    @settings(max_examples=30, deadline=None)
+    @given(fleet_shapes)
+    def test_primary_and_double_ownership_are_rejected(self, shape):
+        placement = _build(*shape)
+        if placement.num_scenes == 0:
+            return
+        scene = 0
+        primary = placement.primary(scene)
+        with pytest.raises(ValueError):
+            placement.remove_replica(scene, primary)
+        with pytest.raises(ValueError):
+            placement.add_replica(scene, primary)
+        with pytest.raises(ValueError):
+            placement.record("explode", position=0, scene=scene, shard=primary)
+
+
+class TestEndToEndOrdering:
+    @pytest.fixture(scope="class")
+    def store(self):
+        scenes = [
+            make_synthetic_scene(
+                SyntheticConfig(
+                    num_gaussians=60, width=24, height=18, seed=seed
+                ),
+                name=f"scene-{seed}",
+                num_cameras=2,
+            )
+            for seed in range(4)
+        ]
+        return SceneStore(scenes)
+
+    def test_replicated_fleet_keeps_responses_sorted_by_request_id(
+        self, store
+    ):
+        # Load-aware routing scatters a hot scene's requests across owners;
+        # the merge must still return them in request order with the same
+        # frames a single worker produces.
+        trace = generate_requests(store, 30, pattern="hotspot", seed=5)
+        single = RenderService(store).serve(trace)
+        with ShardedRenderService(
+            store, num_workers=3, replication=3,
+            hot_scenes=range(len(store)), use_processes=False,
+            dispatch_window=4,
+        ) as fleet:
+            report = fleet.serve(trace)
+        assert [r.request for r in report.responses] == trace
+        for mine, ref in zip(report.responses, single.responses):
+            assert np.array_equal(mine.image, ref.image)
+            assert mine.frame_key == ref.frame_key

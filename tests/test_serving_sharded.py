@@ -214,6 +214,102 @@ class TestShardedRenderService:
             ).num_requests == 1
 
 
+class TestReplicatedPlacement:
+    def test_hot_scene_lives_on_k_shards_and_traffic_splits(self, store):
+        # Replication makes the hot scene resident on 2 shards; load-aware
+        # routing splits its requests instead of pinning them to one owner.
+        camera = store.get_cameras(1)[0]
+        hot_only = [RenderRequest(scene_id=1, camera=camera)] * 20
+        with ShardedRenderService(
+            store, num_workers=3, replication=2, hot_scenes=[1],
+            use_processes=False, dispatch_window=4,
+        ) as fleet:
+            owners = fleet.placement.owners(1)
+            assert len(owners) == 2 and owners[0] == 1 % 3
+            report = fleet.serve(hot_only)
+        served_by = [report.shards[s].num_requests for s in owners]
+        assert sum(served_by) == 20
+        assert min(served_by) == 10  # an even split, deterministically
+        assert 1 in report.shards[owners[0]].scene_indices
+        assert 1 in report.shards[owners[1]].scene_indices
+
+    def test_replicated_serve_stays_bit_identical(
+        self, store, trace, single_report
+    ):
+        with ShardedRenderService(
+            store, num_workers=3, replication=3,
+            hot_scenes=range(len(store)),
+        ) as fleet:
+            report = fleet.serve(trace)
+        for mine, ref in zip(report.responses, single_report.responses):
+            assert np.array_equal(mine.image, ref.image)
+            assert mine.frame_key == ref.frame_key
+
+    def test_constructor_validation(self, store):
+        with pytest.raises(ValueError, match="replication"):
+            ShardedRenderService(store, num_workers=2, replication=0)
+        with pytest.raises(ValueError, match="rebalance_threshold"):
+            ShardedRenderService(
+                store, num_workers=2, rebalance_threshold=1.0
+            )
+        with pytest.raises(ValueError, match="dispatch_window"):
+            ShardedRenderService(store, num_workers=2, dispatch_window=0)
+
+
+class TestWorkerShutdownAudit:
+    """Regressions for the ``__exit__``/close contract: workers must be
+    joined (or terminated) even when ``serve`` raises mid-stream or replies
+    are still in flight."""
+
+    def _processes(self, fleet):
+        return [p for p in fleet._processes if p is not None]
+
+    def test_close_joins_workers_after_serve_raises_mid_stream(self, store):
+        fleet = ShardedRenderService(store, num_workers=2)
+        processes = self._processes(fleet)
+        camera = store.get_cameras(1)[0]
+        with pytest.raises(RuntimeError, match="worker failed"):
+            fleet.serve([
+                RenderRequest(scene_id=0, camera=None),
+                RenderRequest(scene_id=1, camera=camera),
+            ])
+        fleet.close()
+        assert all(not p.is_alive() for p in processes)
+        # A clean exit (the close command), not a terminate.
+        assert all(p.exitcode == 0 for p in processes)
+
+    def test_close_drains_unread_replies(self, store):
+        # A reply left in flight (dispatch without collect) must not wedge
+        # close(): the dispatcher drains the pipe before sending "close",
+        # so the worker still exits cleanly.
+        fleet = ShardedRenderService(store, num_workers=2)
+        processes = self._processes(fleet)
+        fleet._connections[0].send(("stats",))
+        fleet._connections[1].send(("stats",))
+        fleet.close()
+        assert all(not p.is_alive() for p in processes)
+        assert all(p.exitcode == 0 for p in processes)
+
+    def test_context_manager_exits_on_exception(self, store):
+        camera = store.get_cameras(0)[0]
+        with pytest.raises(RuntimeError, match="worker failed"):
+            with ShardedRenderService(store, num_workers=2) as fleet:
+                processes = self._processes(fleet)
+                fleet.serve([RenderRequest(scene_id=0, camera=None)])
+        assert all(not p.is_alive() for p in processes)
+        # The fleet is closed; further serves are refused.
+        with pytest.raises(RuntimeError, match="closed"):
+            fleet.serve([RenderRequest(scene_id=0, camera=camera)])
+
+    def test_close_after_kill_worker(self, store):
+        fleet = ShardedRenderService(store, num_workers=3)
+        processes = self._processes(fleet)
+        fleet.kill_worker(1)
+        fleet.close()
+        fleet.close()  # idempotent
+        assert all(not p.is_alive() for p in processes)
+
+
 class TestShardedTraceEvaluation:
     def test_evaluate_trace_with_workers(self, store, trace):
         system = GauRastSystem(config=GauRastConfig(num_instances=2))

@@ -6,8 +6,10 @@ import pytest
 from repro.gaussians.synthetic import SyntheticConfig, make_synthetic_scene
 from repro.serving import (
     TRAFFIC_PATTERNS,
+    FailurePlan,
     RenderRequest,
     SceneStore,
+    ShardedRenderService,
     generate_requests,
     popularity_priority,
     scene_popularity,
@@ -190,6 +192,84 @@ class TestGenerateRequests:
         )
         with pytest.raises(ValueError):
             generate_requests(cameraless, 5)
+
+
+class TestFailurePlan:
+    def test_at_sorts_and_validates(self):
+        plan = FailurePlan.at((20, 1), (5, 0))
+        assert plan.kills == ((5, 0), (20, 1))
+        assert len(plan) == 2
+        with pytest.raises(ValueError, match="non-negative"):
+            FailurePlan.at((-1, 0))
+        with pytest.raises(ValueError, match="at most once"):
+            FailurePlan.at((3, 1), (9, 1))
+        with pytest.raises(ValueError, match="sorted"):
+            FailurePlan(kills=((9, 0), (3, 1)))
+
+    def test_due_walks_the_schedule(self):
+        plan = FailurePlan.at((5, 0), (12, 3))
+        assert plan.due(4, fired=0) == ()
+        assert plan.due(5, fired=0) == ((5, 0),)
+        assert plan.due(12, fired=0) == ((5, 0), (12, 3))
+        assert plan.due(12, fired=1) == ((12, 3),)
+        assert plan.due(100, fired=2) == ()
+
+    def test_seeded_is_pinned_across_runs(self):
+        # Golden literals: seeded plans are pure functions of their
+        # arguments, across processes and runs — chaos failures reproduce.
+        assert FailurePlan.seeded(
+            num_workers=4, num_requests=40, num_kills=2, seed=9
+        ).kills == ((5, 0), (12, 3))
+        assert FailurePlan.seeded(
+            num_workers=3, num_requests=20, num_kills=1, seed=0
+        ).kills == ((6, 2),)
+
+    def test_seeded_properties_hold_over_seeds(self):
+        for seed in range(12):
+            plan = FailurePlan.seeded(
+                num_workers=4, num_requests=30, num_kills=3, seed=seed
+            )
+            workers = [worker for _, worker in plan.kills]
+            assert len(set(workers)) == 3          # distinct victims
+            assert all(0 <= w < 4 for w in workers)
+            assert all(1 <= p < 30 for p, _ in plan.kills)
+
+    def test_seeded_validation(self):
+        with pytest.raises(ValueError, match="2 workers"):
+            FailurePlan.seeded(num_workers=1, num_requests=10)
+        with pytest.raises(ValueError, match="2 requests"):
+            FailurePlan.seeded(num_workers=2, num_requests=1)
+        with pytest.raises(ValueError, match="num_kills"):
+            FailurePlan.seeded(num_workers=3, num_requests=10, num_kills=3)
+
+    def test_golden_replay_of_a_chaos_serve(self, store):
+        # The headline determinism contract: the same traffic seed plus the
+        # same failure plan produce the identical FleetReport counters and
+        # placement history on two *fresh* fleets.
+        trace = generate_requests(store, 40, pattern="hotspot", seed=9)
+        plan = FailurePlan.seeded(
+            num_workers=4, num_requests=40, num_kills=2, seed=9
+        )
+        priority = popularity_priority(store, pattern="hotspot", seed=9)
+
+        def run():
+            with ShardedRenderService(
+                store, num_workers=4, replication=2, hot_scenes=priority,
+                use_processes=False,
+            ) as fleet:
+                report = fleet.serve(trace, failure_plan=plan)
+            return report
+
+        first, second = run(), run()
+        assert first.dispatched == second.dispatched
+        assert first.requeued == second.requeued
+        assert first.respawned == second.respawned
+        assert first.killed == second.killed == (0, 3)
+        assert list(first.placement) == list(second.placement)
+        assert first.placement_map == second.placement_map
+        assert [s.num_requests for s in first.shards] == [
+            s.num_requests for s in second.shards
+        ]
 
 
 class TestPopularityPriority:
