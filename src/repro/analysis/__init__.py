@@ -4,7 +4,7 @@ The serving stack rests on contracts that used to be enforced only by
 convention — and PRs 4/5 each paid for a violation after the fact (cache
 keys retrofitted with ``level``; a ~6-second dataclass repr of gathered
 frames).  This package machine-checks those contracts at CI time with a
-small static-analysis framework (stdlib ``ast`` only) and four rule
+small static-analysis framework (stdlib ``ast`` only) and five rule
 families targeting the codebase's proven bug classes:
 
 * ``determinism`` — all randomness must flow through explicitly seeded
@@ -18,7 +18,10 @@ families targeting the codebase's proven bug classes:
   block the event loop, and instance state must not be read before an
   ``await`` and written back after it without an ``asyncio.Lock``;
 * ``repr-hygiene`` — dataclass ndarray fields must be ``repr=False`` (or
-  the class must define ``__repr__``).
+  the class must define ``__repr__``);
+* ``shm-lifecycle`` — every ``SharedMemory(...)`` creation must pair with
+  ``close()``/``unlink()`` in a ``finally``/context manager or register a
+  finalizer (leaked segments survive process death under ``/dev/shm``).
 
 Entry points: ``repro lint`` (CLI subcommand), ``python -m
 repro.analysis``, or the library API below.  Suppressions:
@@ -58,6 +61,7 @@ from repro.analysis import asyncsafety     # noqa: F401
 from repro.analysis import cachekeys       # noqa: F401
 from repro.analysis import determinism     # noqa: F401
 from repro.analysis import reprhygiene     # noqa: F401
+from repro.analysis import shmlifecycle    # noqa: F401
 
 from repro.analysis.report import (
     JSON_SCHEMA_VERSION,

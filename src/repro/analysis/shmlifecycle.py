@@ -1,0 +1,173 @@
+"""Shm-lifecycle rule: every SharedMemory creation must pair with cleanup.
+
+A named ``multiprocessing.shared_memory.SharedMemory`` segment outlives the
+process that created it: until someone calls ``unlink()``, the kernel keeps
+the backing pages under ``/dev/shm`` — a leak that survives crashes,
+``kill -9`` and interpreter exit.  The shared storage tier
+(:mod:`repro.serving.storage.shared`) therefore treats segment lifecycle as
+a hard contract (owner unlinks, every holder closes), and this rule
+machine-checks the half of the contract that is visible statically.
+
+Every call expression that constructs a ``SharedMemory(...)`` is flagged
+unless the surrounding code shows one of the accepted lifecycle idioms:
+
+* the call is the context expression of a ``with`` item (the context
+  manager closes the mapping);
+* the innermost enclosing function (or the module, for top-level code)
+  contains a ``try`` whose ``finally`` or ``except`` blocks call
+  ``.close()`` or ``.unlink()``;
+* that same scope registers a finalizer — ``weakref.finalize(...)`` or
+  ``atexit.register(...)`` — which is how long-lived owners defer cleanup
+  beyond the creating frame.
+
+Deliberate exceptions carry ``# repro: ignore[shm-lifecycle]`` on the
+creation line (for example a factory whose caller owns the lifecycle).
+The heuristic is scope-level, not data-flow — it asks "does this scope
+visibly participate in the lifecycle protocol", which is cheap, has no
+false negatives on bare creations, and matches how the storage tier is
+actually written.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Union
+
+from repro.analysis.core import Finding, ParsedModule, Project, Rule, register
+
+_Scope = Union[ast.Module, ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Method names that count as participating in the segment lifecycle.
+_CLEANUP_METHODS = frozenset({"close", "unlink"})
+
+
+def _is_shared_memory_call(node: ast.AST) -> bool:
+    """Whether a call expression constructs a ``SharedMemory``."""
+    if not isinstance(node, ast.Call):
+        return False
+    target = node.func
+    if isinstance(target, ast.Name):
+        return target.id == "SharedMemory"
+    if isinstance(target, ast.Attribute):
+        return target.attr == "SharedMemory"
+    return False
+
+
+def _scope_nodes(scope: _Scope) -> Iterator[ast.AST]:
+    """Walk a scope without descending into nested function/class scopes."""
+    stack = list(scope.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _calls_cleanup(node: ast.AST) -> bool:
+    """Whether a subtree calls ``.close()``/``.unlink()`` on anything."""
+    for child in ast.walk(node):
+        if not isinstance(child, ast.Call):
+            continue
+        target = child.func
+        if isinstance(target, ast.Attribute) and target.attr in _CLEANUP_METHODS:
+            return True
+    return False
+
+
+def _registers_finalizer(node: ast.AST) -> bool:
+    """Whether a node is a ``weakref.finalize``/``atexit.register`` call."""
+    if not isinstance(node, ast.Call):
+        return False
+    target = node.func
+    if isinstance(target, ast.Attribute):
+        if target.attr == "finalize":
+            return True
+        if target.attr == "register" and isinstance(target.value, ast.Name):
+            return target.value.id == "atexit"
+    if isinstance(target, ast.Name):
+        return target.id == "finalize"
+    return False
+
+
+def _scope_handles_lifecycle(scope: _Scope) -> bool:
+    """Whether a scope visibly participates in the lifecycle protocol.
+
+    True when the scope has a ``try`` whose ``finally``/``except`` blocks
+    call a cleanup method, or registers a finalizer for deferred cleanup.
+    """
+    for node in _scope_nodes(scope):
+        if isinstance(node, ast.Try):
+            for handler in node.handlers:
+                if any(_calls_cleanup(stmt) for stmt in handler.body):
+                    return True
+            if any(_calls_cleanup(stmt) for stmt in node.finalbody):
+                return True
+        if _registers_finalizer(node):
+            return True
+    return False
+
+
+def _with_item_expressions(scope: _Scope) -> set:
+    """Identity set of context expressions of every ``with`` in a scope."""
+    expressions = set()
+    for node in _scope_nodes(scope):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                expressions.add(id(item.context_expr))
+    return expressions
+
+
+def _innermost_scope(module: ParsedModule, creation: ast.AST) -> _Scope:
+    """The function scope a creation call sits in (module for top level)."""
+    scope: _Scope = module.tree
+    candidate: Optional[_Scope] = None
+
+    def visit(node: ast.AST, current: _Scope) -> None:
+        nonlocal candidate
+        for child in ast.iter_child_nodes(node):
+            inner = current
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                inner = child
+            if child is creation:
+                candidate = current
+            visit(child, inner)
+
+    visit(module.tree, scope)
+    return candidate if candidate is not None else scope
+
+
+@register
+class ShmLifecycleRule(Rule):
+    """Flag SharedMemory creations with no visible cleanup pairing."""
+
+    id = "shm-lifecycle"
+    summary = (
+        "SharedMemory(...) creation must pair with close()/unlink() in a "
+        "finally/context manager (or register a finalizer); leaked "
+        "segments survive process death under /dev/shm"
+    )
+
+    def check(self, module: ParsedModule, project: Project) -> Iterator[Finding]:
+        """Yield a finding per unpaired ``SharedMemory(...)`` creation."""
+        creations = [
+            node for node in ast.walk(module.tree)
+            if _is_shared_memory_call(node)
+        ]
+        if not creations:
+            return
+        for creation in creations:
+            scope = _innermost_scope(module, creation)
+            if id(creation) in _with_item_expressions(scope):
+                continue
+            if _scope_handles_lifecycle(scope):
+                continue
+            yield module.finding(
+                self.id,
+                creation,
+                "SharedMemory segment created without a paired close()/"
+                "unlink() (finally/context manager) or registered "
+                "finalizer in this scope",
+            )

@@ -11,8 +11,14 @@ Eight subcommands cover the library's main flows::
         validate against the software renderer and optionally write outputs.
 
     python -m repro store [--scenes N] [--output store.npz] [--info PATH]
+                          [--from PATH] [--shared] [--paged]
+                          [--memory-budget BYTES]
         Build a multi-scene SceneStore archive of synthetic scenes, or
-        inspect an existing archive.
+        inspect an existing archive (any format version, including the
+        version-4 paged directory).  --paged writes --output as a paged
+        directory instead of one .npz; --shared re-hosts the catalog in a
+        shared-memory segment and reports it; the inspect output reports
+        allocated capacity next to payload bytes.
 
     python -m repro compress [--store PATH] [--codec fp64|fp16|int8]
                              [--levels K] [--keep R] [--output out.npz]
@@ -28,6 +34,8 @@ Eight subcommands cover the library's main flows::
                           [--lod] [--codec C] [--naive] [--hardware]
                           [--async] [--queue-depth N]
                           [--overload-policy block|shed-oldest|reject]
+                          [--storage memory|shared|paged]
+                          [--memory-budget BYTES]
         Serve a synthetic render-request trace through the RenderService
         (or, with --workers > 1, the sharded multi-process fleet) and report
         throughput, latency and cache statistics.  --seed makes the traffic
@@ -40,7 +48,9 @@ Eight subcommands cover the library's main flows::
         K shards with load-aware routing, --rebalance promotes/demotes
         replicas live from observed traffic, and --kill-at injects seeded
         worker deaths mid-stream (requeued, never lost) with a fault-
-        accounting printout.
+        accounting printout.  --storage serves from a residency tier:
+        'shared' hosts one zero-copy catalog for every worker, 'paged'
+        pages scenes from disk under a --memory-budget byte budget.
 
     python -m repro experiments [NAME ...]
         Run the experiment harness (all experiments by default).
@@ -51,8 +61,9 @@ Eight subcommands cover the library's main flows::
     python -m repro lint [PATH ...] [--format text|json] [--rules ID,...]
                          [--baseline PATH] [--list-rules]
         Run the AST-based invariant linter (repro.analysis) over the tree:
-        determinism, cache-key completeness, async-safety, repr-hygiene.
-        Exits 0 when clean, 1 on findings, 2 on analyzer-internal errors.
+        determinism, cache-key completeness, async-safety, repr-hygiene,
+        shm-lifecycle.  Exits 0 when clean, 1 on findings, 2 on
+        analyzer-internal errors.
 """
 
 from __future__ import annotations
@@ -86,14 +97,18 @@ from repro.hardware.fp import Precision
 from repro.hardware.validation import validate_against_software
 from repro.serving import (
     OVERLOAD_POLICIES,
+    STORAGE_TIERS,
     TRAFFIC_PATTERNS,
     FailurePlan,
+    PagedSceneStore,
     RenderGateway,
     RenderService,
     SceneStore,
     ShardedRenderService,
     generate_requests,
+    host_store,
     popularity_priority,
+    write_paged,
 )
 
 
@@ -148,6 +163,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the store as a .npz archive")
     store.add_argument("--info", default=None, metavar="PATH",
                        help="inspect an existing archive instead of building")
+    store.add_argument("--from", dest="source", default=None, metavar="PATH",
+                       help="load scenes from an existing archive (any format "
+                            "version) instead of synthesising")
+    store.add_argument("--shared", action="store_true",
+                       help="re-host the catalog in a shared-memory segment "
+                            "and report it (released on exit)")
+    store.add_argument("--paged", action="store_true",
+                       help="write --output as a version-4 paged directory "
+                            "(the out-of-core tier) instead of one .npz")
+    store.add_argument("--memory-budget", type=int, default=None,
+                       metavar="BYTES",
+                       help="resident-set byte budget when opening a paged "
+                            "store")
 
     compress = subparsers.add_parser(
         "compress", help="quantize a scene store into a compressed LOD tier"
@@ -241,6 +269,13 @@ def build_parser() -> argparse.ArgumentParser:
                        default="block",
                        help="what a full gateway queue does to new "
                             "arrivals (block, shed-oldest, or reject)")
+    serve.add_argument("--storage", choices=STORAGE_TIERS, default="memory",
+                       help="residency tier to serve from: 'shared' hosts "
+                            "one zero-copy catalog for all workers, 'paged' "
+                            "pages scenes from disk under a byte budget")
+    serve.add_argument("--memory-budget", type=int, default=None,
+                       metavar="BYTES",
+                       help="resident-set byte budget of the paged tier")
     serve.add_argument("--naive", action="store_true",
                        help="also time the naive per-request render loop")
     serve.add_argument("--hardware", action="store_true",
@@ -381,18 +416,43 @@ def _print_store_summary(store: SceneStore) -> None:
     print(format_table(headers, rows))
     print(f"total: {len(store)} scenes, {store.num_gaussians} Gaussians, "
           f"{store.num_cameras} cameras, {store.nbytes / 1024.0:.1f} KiB payload")
+    print(f"memory: {store.capacity_bytes / 1024.0:.1f} KiB allocated for "
+          f"{store.nbytes / 1024.0:.1f} KiB payload")
+    if isinstance(store, PagedSceneStore):
+        budget = store.memory_budget
+        budget_text = "unbounded" if budget is None else f"{budget / 1024.0:.1f} KiB"
+        print(f"paged tier: {store.resident_bytes / 1024.0:.1f} KiB resident "
+              f"(budget {budget_text}) from {store.path}")
 
 
 def _command_store(args: argparse.Namespace) -> int:
     if args.info:
-        store = SceneStore.load(args.info)
+        store = load_store(args.info)
         print(f"archive: {args.info}")
+    elif args.source:
+        store = load_store(args.source)
+        print(f"source: {args.source}")
     else:
         store = _build_store(args)
+    if args.memory_budget is not None and isinstance(store, PagedSceneStore):
+        store = PagedSceneStore(store.path, memory_budget=args.memory_budget)
     _print_store_summary(store)
+    if args.shared:
+        try:
+            with host_store(store, "shared") as lease:
+                hosted = lease.store
+                print(f"shared segment: {hosted.segment_name} "
+                      f"({hosted.segment_bytes} bytes, unlinked on exit)")
+        except ValueError as error:
+            print(str(error), file=sys.stderr)
+            return 2
     if args.output:
-        path = store.save(args.output)
-        print(f"store written to {path}")
+        if args.paged:
+            path = write_paged(store, args.output)
+            print(f"paged store written to {path}")
+        else:
+            path = store.save(args.output)
+            print(f"store written to {path}")
     return 0
 
 
@@ -553,6 +613,16 @@ def _command_serve(args: argparse.Namespace) -> int:
                 keep_ratio=args.lod_keep,
             )
         lod_policy = "footprint"
+    lease = None
+    if args.storage != "memory":
+        try:
+            lease = host_store(
+                store, args.storage, memory_budget=args.memory_budget
+            )
+        except ValueError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        store = lease.store
     trace = generate_requests(
         store, args.requests, pattern=args.traffic, seed=args.seed,
         zipf_exponent=args.zipf_exponent,
@@ -562,6 +632,7 @@ def _command_serve(args: argparse.Namespace) -> int:
           f"({store.num_cameras} viewpoints, traffic={args.traffic}, "
           f"seed={args.seed}, backend={args.backend}, "
           f"workers={args.workers}"
+          + (f", storage={args.storage}" if args.storage != "memory" else "")
           + (", async gateway" if args.use_async else "") + ")")
 
     gateway = None
@@ -657,6 +728,18 @@ def _command_serve(args: argparse.Namespace) -> int:
     finally:
         if args.workers > 1:
             service.close()
+        if lease is not None:
+            if isinstance(store, PagedSceneStore):
+                stats = store.resident_stats()
+                budget = store.memory_budget
+                budget_text = (
+                    "unbounded" if budget is None
+                    else f"{budget / 1024.0:.0f} KiB"
+                )
+                print(f"paged tier: {store.resident_bytes / 1024.0:.1f} KiB "
+                      f"resident (budget {budget_text}), "
+                      f"{stats.evictions} evictions")
+            lease.close()
     return 0
 
 

@@ -252,6 +252,15 @@ class CompressedSceneStore(SceneStore):
         index = self.resolve_index(index)
         return self._records[index].cloud.error_bounds
 
+    def scene_record(self, index: Union[int, str]) -> CompressedSceneRecord:
+        """The quantized record behind one scene (payload-verbatim access).
+
+        Storage tiers (:mod:`repro.serving.storage`) use this to persist
+        or re-host the encoded payload without a decode/re-encode round
+        trip, which is what keeps frames bit-identical across tiers.
+        """
+        return self._records[self.resolve_index(index)]
+
     # ------------------------------------------------------------------ #
     # Size accounting
     # ------------------------------------------------------------------ #
@@ -437,11 +446,16 @@ def load_store(path: Union[str, Path]) -> SceneStore:
 
     Version-3 archives come back as a :class:`CompressedSceneStore`;
     version-2 (and single-scene version-1) archives come back as a plain
-    :class:`~repro.serving.store.SceneStore`.
+    :class:`~repro.serving.store.SceneStore`; version-4 paged directories
+    come back as a :class:`~repro.serving.storage.paged.PagedSceneStore`.
     """
     path = Path(path)
     if not path.exists():
         raise FileNotFoundError(f"scene store archive not found: {path}")
+    from repro.serving.storage.paged import PagedSceneStore, is_paged_archive
+
+    if is_paged_archive(path):
+        return PagedSceneStore(path)
     with np.load(path, allow_pickle=False) as archive:
         version = json.loads(str(archive["metadata"])).get("format_version")
     if version == COMPRESSED_FORMAT_VERSION:

@@ -57,6 +57,7 @@ from repro.scheduling.collaborative import schedule_frames
 from repro.serving.gateway import GatewayReport, RenderGateway
 from repro.serving.service import RenderRequest, RenderService, ServiceReport
 from repro.serving.sharded import FleetReport, ShardedRenderService
+from repro.serving.storage import host_store
 from repro.serving.store import SceneStore
 
 
@@ -342,6 +343,8 @@ class GauRastSystem:
         hot_scenes=None,
         rebalance: bool = False,
         failure_plan=None,
+        storage: Optional[str] = None,
+        memory_budget: Optional[int] = None,
     ) -> TraceEvaluation:
         """Serve a request trace and replay it on the hardware model.
 
@@ -379,9 +382,27 @@ class GauRastSystem:
         serve (see :class:`~repro.serving.traffic.FailurePlan`) — requeued
         requests still produce exactly one response each, and frames stay
         bit-identical, so the hardware replay is again unaffected.
+
+        ``storage`` re-hosts the catalog on a residency tier before
+        serving (``"shared"`` / ``"paged"``, see
+        :func:`~repro.serving.storage.host_store`); ``memory_budget``
+        bounds the paged tier's resident set.  Tiers serve the same bytes,
+        so frames — and therefore the whole hardware replay — stay
+        bit-identical across ``storage`` choices.  The tier lives only for
+        the duration of the call and applies only when the service is
+        created here.
         """
         if gateway is not None and service is not None:
             raise ValueError("pass either service= or gateway=, not both")
+        lease = None
+        if storage not in (None, "memory"):
+            if service is not None or gateway is not None:
+                raise ValueError(
+                    "storage= applies only when evaluate_trace creates the "
+                    "service; re-host the store before building one yourself"
+                )
+            lease = host_store(store, storage, memory_budget=memory_budget)
+            store = lease.store
         owned_service = None
         if gateway is not None:
             service = gateway.service
@@ -418,6 +439,8 @@ class GauRastSystem:
         finally:
             if owned_service is not None:
                 owned_service.close()
+            if lease is not None:
+                lease.close()
 
         distinct: Dict[tuple, FrameReport] = {}
         frame_levels: Dict[tuple, int] = {}

@@ -28,6 +28,14 @@ three tiers:
 derives gateway lane assignments from the same popularity model
 (:func:`~repro.serving.traffic.popularity_priority`).
 
+:mod:`repro.serving.storage` supplies the *residency* tiers underneath the
+store API: :class:`~repro.serving.storage.shared.SharedSceneStore` hosts
+one catalog in named shared memory that every worker process maps
+zero-copy, and :class:`~repro.serving.storage.paged.PagedSceneStore` pages
+scenes lazily from chunked on-disk files under a byte-budgeted LRU.
+:func:`~repro.serving.storage.host_store` re-hosts any store on a tier by
+name (``"memory"`` / ``"shared"`` / ``"paged"``).
+
 Typical usage::
 
     from repro.serving import (
@@ -66,6 +74,14 @@ from repro.serving.sharded import (
     ShardedRenderService,
     merge_cache_stats,
 )
+from repro.serving.storage import (
+    STORAGE_TIERS,
+    PagedSceneStore,
+    SharedSceneStore,
+    StorageLease,
+    host_store,
+    write_paged,
+)
 from repro.serving.store import SceneStore
 from repro.serving.traffic import (
     TRAFFIC_PATTERNS,
@@ -85,20 +101,26 @@ __all__ = [
     "LRUByteCache",
     "NoLiveOwnerError",
     "OVERLOAD_POLICIES",
+    "PagedSceneStore",
     "PlacementEvent",
     "PlacementMap",
     "RenderGateway",
     "RenderRequest",
     "RenderResponse",
     "RenderService",
+    "STORAGE_TIERS",
     "SceneStore",
     "ServiceReport",
     "ShardReport",
     "ShardedRenderService",
+    "SharedSceneStore",
+    "StorageLease",
     "TRAFFIC_PATTERNS",
     "generate_requests",
+    "host_store",
     "merge_cache_stats",
     "popularity_priority",
     "scene_popularity",
     "synthetic_request_trace",
+    "write_paged",
 ]

@@ -1,0 +1,728 @@
+"""Shared-memory SceneStore tier: one hosted catalog, many zero-copy readers.
+
+A :class:`SharedSceneStore` keeps the flattened Gaussian/pose arrays of a
+:class:`~repro.serving.store.SceneStore` inside a single named
+``multiprocessing.shared_memory`` segment instead of private process heap.
+The dispatcher process *owns* the segment; every worker process attaches
+read-only **by name** and maps the same physical pages, so an N-worker
+fleet holds one copy of the catalog no matter how scenes are placed or
+replicated — placement and replication control *routing and caches*, not
+residency.  This is the DAQ-style buffer-pool shape: a fixed shared pool,
+many reader processes, explicit ownership.
+
+Three cooperating pieces:
+
+* :class:`SharedSceneStore` — the catalog itself.  Owners construct it
+  like a plain store; readers call :meth:`SharedSceneStore.attach` with a
+  :class:`SharedStoreHandle` (or just unpickle the store, which reduces to
+  an attach).
+* :class:`SharedStoreHandle` — a tiny picklable pointer (segment name,
+  epoch layout, counts, scene names) that crosses pipes instead of array
+  payload.
+* :class:`SharedStoreView` — what :meth:`SharedSceneStore.build_substore`
+  returns: an ordered list of ``(catalog, global index)`` references
+  implementing the ``SceneStore`` API.  Pickling a view ships handles and
+  indices only; unpickling re-attaches.  Replicating a scene onto another
+  view appends a reference, never a copy.
+
+**Epoch scheme (copy-on-grow).**  The flat arrays of one epoch are never
+reallocated in place.  ``add_scene`` within capacity appends past every
+reader's snapshot counts, which tears nothing; growth, removal and
+:meth:`SharedSceneStore.compact` allocate a *new* segment (epoch ``e+1``),
+copy the payload across, and retire the old segment.  Retiring unlinks the
+old name immediately — attached readers keep their (consistent, snapshot)
+mapping alive until they drop it, while new attaches need a fresh handle.
+See the "memory residency contract" in ``docs/ARCHITECTURE.md``.
+
+**Lifecycle.**  ``close()`` (or the context manager, or garbage collection
+via ``weakref.finalize``) detaches the mapping; the owner additionally
+unlinks the segment.  Unlinking is guarded by the creating PID so a forked
+child that inherited the owner object can never delete segments its parent
+still serves.  Readers attach *untracked* — on Python < 3.13 the
+``resource_tracker`` would otherwise unlink a live segment when any
+attached process exits (CPython issue 82300, hit constantly under the
+kill/respawn chaos of the sharded fleet).
+
+Usage::
+
+    from repro.serving.storage import SharedSceneStore
+
+    with SharedSceneStore(scenes) as catalog:
+        view = catalog.build_substore([0, 2])      # zero-copy routing view
+        handle = catalog.handle()                  # picklable pointer
+        reader = SharedSceneStore.attach(handle)   # other process: zero-copy
+    # segment unlinked on exit; readers keep their mapping until they close
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import weakref
+from dataclasses import dataclass
+from multiprocessing import resource_tracker
+from multiprocessing.shared_memory import SharedMemory
+from typing import Iterable, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.gaussians.camera import Camera
+from repro.gaussians.gaussian import GaussianCloud
+from repro.gaussians.scene import GaussianScene
+from repro.serving.store import CAMERA_FIELDS, SceneStore
+
+#: Byte alignment of every flat array inside a segment (cache-line sized,
+#: and a multiple of every element size used, so dtype views are valid).
+SEGMENT_ALIGNMENT = 64
+
+#: Flat arrays hosted in a segment, with the capacity axis each one grows
+#: along.  Order is the layout order inside the segment.
+_FIELD_AXES = (
+    ("_positions", "gaussians"),
+    ("_scales", "gaussians"),
+    ("_rotations", "gaussians"),
+    ("_opacities", "gaussians"),
+    ("_sh", "gaussians"),
+    ("_start", "scenes"),
+    ("_length", "scenes"),
+    ("_sh_k", "scenes"),
+    ("_cam_start", "scenes"),
+    ("_cam_length", "scenes"),
+    ("_poses", "cameras"),
+    ("_intrinsics", "cameras"),
+)
+
+#: The int64 per-scene index arrays; everything else is float64.
+_INT_FIELDS = frozenset({"_start", "_length", "_sh_k", "_cam_start", "_cam_length"})
+
+#: Distinguishes segments of distinct stores created by one process.
+_STORE_IDS = itertools.count()
+
+
+def _segment_layout(gaussian_rows: int, scene_rows: int, camera_rows: int,
+                    sh_width: int) -> Tuple[list, int]:
+    """Aligned ``(name, offset, shape, dtype)`` layout of one epoch segment.
+
+    Purely a function of the four capacity parameters, so owner and readers
+    derive identical views from the numbers carried by a
+    :class:`SharedStoreHandle` — no layout table is stored in the segment.
+    """
+    trailing = {
+        "_positions": (3,), "_scales": (3,), "_rotations": (4,),
+        "_opacities": (), "_sh": (sh_width, 3),
+        "_start": (), "_length": (), "_sh_k": (),
+        "_cam_start": (), "_cam_length": (),
+        "_poses": (4, 4), "_intrinsics": (CAMERA_FIELDS,),
+    }
+    rows = {
+        "gaussians": gaussian_rows, "scenes": scene_rows, "cameras": camera_rows,
+    }
+    layout = []
+    offset = 0
+    for name, axis in _FIELD_AXES:
+        dtype = np.dtype(np.int64 if name in _INT_FIELDS else np.float64)
+        shape = (rows[axis],) + trailing[name]
+        layout.append((name, offset, shape, dtype))
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        padded = -(-nbytes // SEGMENT_ALIGNMENT) * SEGMENT_ALIGNMENT
+        offset += padded
+    return layout, max(offset, SEGMENT_ALIGNMENT)
+
+
+def _map_views(segment: SharedMemory, layout: list, writeable: bool) -> dict:
+    """NumPy views over one segment, per the layout; read-only for readers."""
+    views = {}
+    for name, offset, shape, dtype in layout:
+        count = int(np.prod(shape, dtype=np.int64))
+        array = np.frombuffer(
+            segment.buf, dtype=dtype, count=count, offset=offset
+        ).reshape(shape)
+        if not writeable:
+            array.flags.writeable = False
+        views[name] = array
+    return views
+
+
+#: Serializes the registration-suppressing attach below (module-global so
+#: every attacher in the process shares one critical section).
+_ATTACH_LOCK = threading.Lock()
+
+
+def _attach_segment(name: str) -> SharedMemory:
+    """Attach an existing segment by name, without tracker registration.
+
+    Attaching normally registers the segment with the per-process resource
+    tracker, which unlinks "leaked" segments when its process exits —
+    correct for owners, catastrophic for readers (a worker exiting, or
+    being killed and respawned by the chaos schedules, would delete the
+    live catalog under the whole fleet; CPython issue 82300).  Python 3.13
+    grows ``track=False``; on the interpreters CI runs we suppress the
+    ``register`` call during attach instead, which also keeps the owner's
+    own registration balanced when owner and reader share a process.
+    """
+    with _ATTACH_LOCK:
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            # lifecycle owned by the caller, which registers a finalizer
+            return SharedMemory(name=name)  # repro: ignore[shm-lifecycle]
+        finally:
+            resource_tracker.register = original
+
+
+def _release_segment(segment: Optional[SharedMemory], unlink: bool,
+                     owner_pid: Optional[int] = None) -> None:
+    """Detach (and, for the owning process, delete) one segment.
+
+    Tolerates live array exports — ``close()`` raising ``BufferError``
+    while handed-out views are still alive just postpones the unmap to
+    their garbage collection; the *unlink* (which is what keeps
+    ``/dev/shm`` clean) succeeds regardless.  ``owner_pid`` guards unlink
+    against forked children that inherited an owner object.
+    """
+    if segment is None:
+        return
+    try:
+        segment.close()
+    except (BufferError, ValueError):
+        # Live exports pin the mapping; hand it to them (it unmaps when
+        # the last view dies) and disarm close() retries at GC time.
+        segment._mmap = None
+        descriptor = getattr(segment, "_fd", -1)
+        if descriptor >= 0:
+            try:
+                os.close(descriptor)
+            except OSError:  # pragma: no cover - already closed
+                pass
+            segment._fd = -1
+    if unlink and (owner_pid is None or owner_pid == os.getpid()):
+        try:
+            segment.unlink()
+        except FileNotFoundError:
+            pass
+
+
+def _attach_store(handle: "SharedStoreHandle") -> "SharedSceneStore":
+    """Module-level attach hook (pickle targets resolve by qualified name)."""
+    return SharedSceneStore.attach(handle)
+
+
+@dataclass(frozen=True)
+class SharedStoreHandle:
+    """Picklable pointer to one epoch of a hosted shared catalog.
+
+    Carries everything a reader needs to map the segment and interpret it
+    (name, capacity layout, used counts, scene names) and none of the
+    payload.  A handle is a *snapshot*: it stays valid for attaching while
+    its epoch is the catalog's current one — growth or removal on the
+    owner retires the epoch, after which attaching raises
+    ``FileNotFoundError`` and a fresh handle must be taken.
+    """
+
+    segment: str
+    num_gaussians: int
+    num_scenes: int
+    num_cameras: int
+    gaussian_rows: int
+    scene_rows: int
+    camera_rows: int
+    sh_width: int
+    names: Tuple[str, ...]
+    descriptors: Tuple[Optional[str], ...]
+
+
+class SharedSceneStore(SceneStore):
+    """A :class:`~repro.serving.store.SceneStore` hosted in shared memory.
+
+    Owners construct it exactly like a plain store; the flat arrays live in
+    one named segment per *epoch* (see the module docstring for the
+    copy-on-grow scheme).  Readers attach by name via :meth:`attach` — or
+    simply by unpickling the store, which reduces to an attach — and see
+    the identical arrays zero-copy, enforced read-only.
+
+    Mutation (``add_scene``/``remove_scene``/``compact``) is owner-only;
+    readers raise.  ``build_substore`` returns a :class:`SharedStoreView`
+    (scene references, no payload) instead of a copying sub-store.
+    """
+
+    def __init__(
+        self,
+        scenes: Optional[Iterable[GaussianScene]] = None,
+        gaussian_capacity: int = 0,
+        scene_capacity: int = 0,
+        camera_capacity: int = 0,
+    ):
+        self._num_scenes = 0
+        self._num_gaussians = 0
+        self._num_cameras = 0
+        self._sh_width = 1
+        self._names: List[str] = []
+        self._descriptors: List[Optional[str]] = []
+
+        self._owner = True
+        self._pid = os.getpid()
+        self._epoch = 0
+        self._base_name = f"repro-shm-{os.getpid()}-{next(_STORE_IDS)}"
+        self._segment: Optional[SharedMemory] = None
+        self._finalizer = None
+        self._allocate_epoch(
+            max(int(gaussian_capacity), 1),
+            max(int(scene_capacity), 1),
+            max(int(camera_capacity), 1),
+            1,
+        )
+        if scenes is not None:
+            self.extend(scenes)
+
+    # ------------------------------------------------------------------ #
+    # Segment lifecycle
+    # ------------------------------------------------------------------ #
+    def _allocate_epoch(self, gaussian_rows: int, scene_rows: int,
+                        camera_rows: int, sh_width: int) -> None:
+        """Host the flat arrays in a fresh segment, copying the used payload.
+
+        The copy-on-grow primitive behind growth, removal and compaction:
+        the previous epoch's segment is retired (closed and unlinked) only
+        *after* the new epoch is fully populated, and readers attached to
+        it keep their consistent snapshot mapping until they detach.
+        """
+        old_segment = self._segment
+        old_width = self._sh_width
+        old_arrays = {name: getattr(self, name, None) for name, _ in _FIELD_AXES}
+
+        layout, size = _segment_layout(
+            gaussian_rows, scene_rows, camera_rows, sh_width
+        )
+        name = f"{self._base_name}-e{self._epoch}"
+        segment = SharedMemory(name=name, create=True, size=size)
+        try:
+            views = _map_views(segment, layout, writeable=True)
+            if old_segment is not None:
+                used = {
+                    "gaussians": self._num_gaussians,
+                    "scenes": self._num_scenes,
+                    "cameras": self._num_cameras,
+                }
+                copy_width = min(old_width, sh_width)
+                for field_name, axis in _FIELD_AXES:
+                    count = used[axis]
+                    if field_name == "_sh":
+                        views["_sh"][:count, :copy_width, :] = (
+                            old_arrays["_sh"][:count, :copy_width, :]
+                        )
+                    else:
+                        views[field_name][:count] = old_arrays[field_name][:count]
+        except BaseException:
+            segment.close()
+            segment.unlink()
+            raise
+
+        for field_name, view in views.items():
+            setattr(self, field_name, view)
+        self._sh_width = sh_width
+        self._segment = segment
+        self._epoch += 1
+        if self._finalizer is not None:
+            self._finalizer.detach()
+        self._finalizer = weakref.finalize(
+            self, _release_segment, segment, True, self._pid
+        )
+        # Old arrays must drop their buffer exports before the old mapping
+        # can actually unmap; the unlink below succeeds regardless.
+        del old_arrays
+        _release_segment(old_segment, unlink=True, owner_pid=self._pid)
+
+    @property
+    def segment_name(self) -> Optional[str]:
+        """Name of the current epoch's segment (``None`` once closed)."""
+        return self._segment.name if self._segment is not None else None
+
+    @property
+    def segment_bytes(self) -> int:
+        """Allocated bytes of the current segment (0 once closed)."""
+        return self._segment.size if self._segment is not None else 0
+
+    @property
+    def is_owner(self) -> bool:
+        """Whether this process created (and may mutate/unlink) the catalog."""
+        return self._owner
+
+    def handle(self) -> SharedStoreHandle:
+        """Picklable pointer to the current epoch (for readers to attach)."""
+        if self._segment is None:
+            raise RuntimeError("shared scene store is closed")
+        return SharedStoreHandle(
+            segment=self._segment.name,
+            num_gaussians=self._num_gaussians,
+            num_scenes=self._num_scenes,
+            num_cameras=self._num_cameras,
+            gaussian_rows=len(self._positions),
+            scene_rows=len(self._start),
+            camera_rows=len(self._poses),
+            sh_width=self._sh_width,
+            names=tuple(self._names),
+            descriptors=tuple(self._descriptors),
+        )
+
+    @classmethod
+    def attach(cls, handle: SharedStoreHandle) -> "SharedSceneStore":
+        """Attach read-only to a hosted catalog by name (zero-copy).
+
+        The reader maps the same physical pages as the owner; its arrays
+        are marked non-writeable and every mutating method raises.  Close
+        it (or let it be garbage collected) to drop the mapping; a reader
+        never unlinks the segment.
+        """
+        segment = _attach_segment(handle.segment)
+        try:
+            layout, _ = _segment_layout(
+                handle.gaussian_rows, handle.scene_rows,
+                handle.camera_rows, handle.sh_width,
+            )
+            views = _map_views(segment, layout, writeable=False)
+        except BaseException:
+            segment.close()
+            raise
+        store = cls.__new__(cls)
+        store._owner = False
+        store._pid = os.getpid()
+        store._epoch = 0
+        store._base_name = handle.segment
+        store._segment = segment
+        store._num_scenes = handle.num_scenes
+        store._num_gaussians = handle.num_gaussians
+        store._num_cameras = handle.num_cameras
+        store._sh_width = handle.sh_width
+        store._names = list(handle.names)
+        store._descriptors = list(handle.descriptors)
+        for field_name, view in views.items():
+            setattr(store, field_name, view)
+        store._finalizer = weakref.finalize(
+            store, _release_segment, segment, False
+        )
+        return store
+
+    def close(self) -> None:
+        """Detach the mapping; the owner also unlinks the segment.
+
+        Idempotent.  Views already handed out keep the old pages alive
+        until they are garbage collected, but the segment *name* is gone
+        immediately (nothing is left under ``/dev/shm``), which is the
+        cleanliness property the chaos tests assert.
+        """
+        if self._segment is None:
+            return
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        for field_name, _ in _FIELD_AXES:
+            setattr(self, field_name, None)
+        _release_segment(self._segment, unlink=self._owner, owner_pid=self._pid)
+        self._segment = None
+
+    def __enter__(self) -> "SharedSceneStore":
+        """Context-managed hosting: the segment is released on exit."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Release the segment (owners unlink it) on scope exit."""
+        self.close()
+
+    def __reduce__(self):
+        """Pickle as an attach-by-name of the current epoch (no payload)."""
+        return (_attach_store, (self.handle(),))
+
+    # ------------------------------------------------------------------ #
+    # Owner-only mutation (copy-on-grow overrides)
+    # ------------------------------------------------------------------ #
+    def _require_owner(self) -> None:
+        """Reject mutation on readers and closed stores."""
+        if self._segment is None:
+            raise RuntimeError("shared scene store is closed")
+        if not self._owner:
+            raise RuntimeError(
+                "attached shared store is read-only; mutate the owning store"
+            )
+
+    def add_scene(self, scene: GaussianScene) -> int:
+        """Append a scene (owner only).
+
+        Within capacity this writes only rows past every reader handle's
+        snapshot counts, so existing reader views are never torn; when
+        capacity must grow, a fresh epoch segment is allocated instead of
+        resizing in place.
+        """
+        self._require_owner()
+        return super().add_scene(scene)
+
+    def remove_scene(self, index: Union[int, str]) -> None:
+        """Remove a scene via a fresh epoch (owner only).
+
+        In-place compaction would shift rows under attached readers, so
+        the payload is first moved verbatim into a new epoch segment (which
+        no reader maps yet) and compacted *there*; readers of the retired
+        epoch keep their consistent pre-removal snapshot.
+        """
+        self._require_owner()
+        self.resolve_index(index)
+        self._allocate_epoch(
+            len(self._positions), len(self._start), len(self._poses),
+            self._sh_width,
+        )
+        super().remove_scene(index)
+
+    def _require_gaussians(self, extra: int) -> None:
+        needed = self._num_gaussians + extra
+        if needed > len(self._positions):
+            self._allocate_epoch(
+                max(needed, 2 * len(self._positions)),
+                len(self._start), len(self._poses), self._sh_width,
+            )
+
+    def _require_scenes(self, extra: int) -> None:
+        needed = self._num_scenes + extra
+        if needed > len(self._start):
+            self._allocate_epoch(
+                len(self._positions),
+                max(needed, 2 * len(self._start)),
+                len(self._poses), self._sh_width,
+            )
+
+    def _require_cameras(self, extra: int) -> None:
+        needed = self._num_cameras + extra
+        if needed > len(self._poses):
+            self._allocate_epoch(
+                len(self._positions), len(self._start),
+                max(needed, 2 * len(self._poses)), self._sh_width,
+            )
+
+    def _require_sh_width(self, width: int) -> None:
+        if width > self._sh_width:
+            self._allocate_epoch(
+                len(self._positions), len(self._start), len(self._poses), width
+            )
+
+    def compact(self) -> int:
+        """Trim spare capacity into a right-sized fresh epoch (owner only).
+
+        The shared-tier version of :meth:`SceneStore.compact`: instead of
+        reallocating private arrays it moves the payload into a new,
+        exactly-sized segment and retires the old epoch.  Returns the
+        bytes freed (by :attr:`capacity_bytes` accounting).
+        """
+        self._require_owner()
+        before = self.capacity_bytes
+        width = 1
+        if self._num_scenes:
+            width = max(int(np.max(self._sh_k[: self._num_scenes])), 1)
+        self._allocate_epoch(
+            max(self._num_gaussians, 1),
+            max(self._num_scenes, 1),
+            max(self._num_cameras, 1),
+            width,
+        )
+        return before - self.capacity_bytes
+
+    def save(self, path):
+        """Write the catalog to a plain ``.npz`` archive (format version 2).
+
+        Shared residency is a hosting property, not a format: the archive
+        is byte-identical to saving an equivalent plain store, and loading
+        it back yields a plain store that can re-host anywhere.
+        """
+        self._require_owner()
+        return super().save(path)
+
+    # ------------------------------------------------------------------ #
+    # Zero-copy routing views
+    # ------------------------------------------------------------------ #
+    def build_substore(self, indices: Iterable[Union[int, str]]) -> "SharedStoreView":
+        """A zero-copy :class:`SharedStoreView` over the given scenes.
+
+        Unlike the copying base implementation, no payload moves: the view
+        routes reads into this catalog, and pickling it ships a handle
+        plus indices so worker processes re-attach instead of re-copying.
+        """
+        return SharedStoreView(
+            (self, self.resolve_index(index)) for index in indices
+        )
+
+
+class SharedStoreView(SceneStore):
+    """Scene-membership view over shared catalogs: routing without residency.
+
+    What the sharded dispatcher hands each worker instead of a private
+    sub-store copy: an ordered list of ``(catalog, global index)``
+    references.  The view implements the read side of the ``SceneStore``
+    API by delegation, supports the worker-protocol membership operations
+    (``adopt_scene`` appends a reference — replication never copies
+    payload; ``remove_scene`` drops one), and pickles as segment handles
+    plus indices, so crossing a pipe costs O(metadata).
+
+    Entries are snapshots of spawn/replication time: global indices refer
+    to the catalog epoch the view was built against.  The fleet rebuilds
+    views at respawn and replication time, which is also when a new epoch
+    is picked up.
+    """
+
+    def __init__(self, entries: Iterable[tuple]):
+        self._entries: List[tuple] = list(entries)
+
+    # -- identity (drives the inherited resolve_index/__len__/__iter__) -- #
+    @property
+    def _num_scenes(self) -> int:
+        """Scene count, derived from the entry list."""
+        return len(self._entries)
+
+    @property
+    def _names(self) -> List[str]:
+        """Scene names, read through to the referenced catalogs."""
+        return [catalog._names[index] for catalog, index in self._entries]
+
+    def _entry(self, index: Union[int, str]) -> tuple:
+        """The ``(catalog, global index)`` entry behind a local index."""
+        return self._entries[self.resolve_index(index)]
+
+    # ------------------------------------------------------------------ #
+    # Read API (delegated, zero-copy)
+    # ------------------------------------------------------------------ #
+    def get_cloud(self, index: Union[int, str], level: int = 0) -> GaussianCloud:
+        """Cloud of a referenced scene — views into the shared segment."""
+        resolved = self.resolve_index(index)
+        self._check_level(resolved, level)
+        catalog, gindex = self._entries[resolved]
+        return catalog.get_cloud(gindex)
+
+    def get_cameras(self, index: Union[int, str]) -> List[Camera]:
+        """Cameras of a referenced scene (poses view the shared segment)."""
+        catalog, gindex = self._entry(index)
+        return catalog.get_cameras(gindex)
+
+    def get_scene(self, index: Union[int, str], level: int = 0) -> GaussianScene:
+        """Referenced scene as a zero-copy view."""
+        resolved = self.resolve_index(index)
+        self._check_level(resolved, level)
+        catalog, gindex = self._entries[resolved]
+        return catalog.get_scene(gindex)
+
+    def level_sizes(self, index: Union[int, str]) -> tuple:
+        """Gaussian count per detail level of the referenced scene."""
+        catalog, gindex = self._entry(index)
+        return catalog.level_sizes(gindex)
+
+    def scene_bounds(self, index: Union[int, str]):
+        """Bounding sphere of the referenced scene."""
+        catalog, gindex = self._entry(index)
+        return catalog.scene_bounds(gindex)
+
+    def scene_nbytes(self, index: Union[int, str]) -> int:
+        """Payload bytes of the referenced scene (resident in the catalog)."""
+        catalog, gindex = self._entry(index)
+        return catalog.scene_nbytes(gindex)
+
+    @property
+    def num_gaussians(self) -> int:
+        """Total Gaussians across the referenced scenes."""
+        return sum(
+            catalog.level_sizes(index)[0] for catalog, index in self._entries
+        )
+
+    @property
+    def num_cameras(self) -> int:
+        """Total cameras across the referenced scenes."""
+        return sum(
+            int(catalog._cam_length[index]) for catalog, index in self._entries
+        )
+
+    @property
+    def nbytes(self) -> int:
+        """Payload bytes the view *references* (resident in the catalogs)."""
+        return sum(
+            catalog.scene_nbytes(index) for catalog, index in self._entries
+        )
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Bytes the view itself allocates for payload — always 0."""
+        return 0
+
+    @property
+    def owned_bytes(self) -> int:
+        """Private payload bytes of this view — always 0.
+
+        The per-worker residency metric of the storage benchmark: a plain
+        copying sub-store owns ``nbytes`` of private payload per worker,
+        a shared view owns none (residency stays with the catalog
+        segments, mapped once per machine).
+        """
+        return 0
+
+    # ------------------------------------------------------------------ #
+    # Membership (the worker-protocol surface)
+    # ------------------------------------------------------------------ #
+    def add_scene(self, scene: GaussianScene) -> int:
+        """Unsupported: a view routes to shared catalogs, it owns no arrays."""
+        raise RuntimeError(
+            "SharedStoreView cannot host new payload; add scenes on the "
+            "owning SharedSceneStore and reference them via adopt_scene"
+        )
+
+    def adopt_scene(self, source: SceneStore, index: Union[int, str] = 0) -> int:
+        """Adopt a scene *reference* from another shared view or catalog.
+
+        Replication in a shared-storage fleet: the dispatcher ships a
+        one-scene view over the pipe and the worker appends the reference
+        — zero payload copied, frames bit-identical by construction
+        because every replica reads the same segment bytes.
+        """
+        if isinstance(source, SharedStoreView):
+            self._entries.append(source._entry(index))
+            return len(self._entries) - 1
+        if isinstance(source, SharedSceneStore):
+            self._entries.append((source, source.resolve_index(index)))
+            return len(self._entries) - 1
+        raise TypeError(
+            "SharedStoreView can only adopt references to shared catalogs; "
+            f"got {type(source).__name__}"
+        )
+
+    def remove_scene(self, index: Union[int, str]) -> None:
+        """Drop one reference (later scenes renumber, payload untouched)."""
+        self._entries.pop(self.resolve_index(index))
+
+    def build_substore(self, indices: Iterable[Union[int, str]]) -> "SharedStoreView":
+        """A narrower view over the same catalogs (still zero-copy)."""
+        return SharedStoreView(
+            self._entries[self.resolve_index(index)] for index in indices
+        )
+
+    def save(self, path):
+        """Unsupported on a view; save the owning catalog instead."""
+        raise RuntimeError(
+            "SharedStoreView does not own payload to save; call save() on "
+            "the owning SharedSceneStore"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Pickling (attach-on-unpickle)
+    # ------------------------------------------------------------------ #
+    def __getstate__(self) -> dict:
+        """Serialize as segment handles plus indices — no payload."""
+        handles = {}
+        entries = []
+        for catalog, index in self._entries:
+            handle = catalog.handle()
+            handles[handle.segment] = handle
+            entries.append((handle.segment, index))
+        return {"handles": handles, "entries": entries}
+
+    def __setstate__(self, state: dict) -> None:
+        """Re-attach each referenced catalog by name (zero-copy)."""
+        catalogs = {
+            segment: SharedSceneStore.attach(handle)
+            for segment, handle in state["handles"].items()
+        }
+        self._entries = [
+            (catalogs[segment], index) for segment, index in state["entries"]
+        ]

@@ -327,6 +327,61 @@ class SceneStore:
         self._num_gaussians -= length
         self._num_cameras -= cam_length
         self._num_scenes -= 1
+        self._maybe_shrink()
+
+    def _maybe_shrink(self) -> None:
+        """Auto-compact once under a quarter of an allocated axis is used.
+
+        The shrink twin of the geometric growth rule: invoked after every
+        removal, it keeps ``capacity_bytes`` tracking ``nbytes`` under heavy
+        removal while staying amortized O(1) (a store oscillating around a
+        size never thrashes — shrink only fires at <= 1/4 occupancy and the
+        next growth doubles from the exact size).
+        """
+        sparse_gaussians = (
+            len(self._positions) > 1
+            and 4 * self._num_gaussians <= len(self._positions)
+        )
+        sparse_cameras = (
+            len(self._poses) > 1 and 4 * self._num_cameras <= len(self._poses)
+        )
+        sparse_scenes = (
+            len(self._start) > 1 and 4 * self._num_scenes <= len(self._start)
+        )
+        if sparse_gaussians or sparse_cameras or sparse_scenes:
+            self.compact()
+
+    def compact(self) -> int:
+        """Trim spare capacity so ``capacity_bytes`` tracks ``nbytes``.
+
+        Reallocates every flat array to exactly the rows in use (and narrows
+        the shared SH width to the widest stored scene); returns the bytes
+        freed.  Runs automatically after removals once occupancy drops to a
+        quarter (see :meth:`remove_scene`), and can be called explicitly
+        after bulk removal.  Like growth reallocation, compaction leaves
+        previously handed-out views on the old buffers — re-fetch views
+        afterwards if store identity matters.
+        """
+        before = self.capacity_bytes
+        n, s, c = self._num_gaussians, self._num_scenes, self._num_cameras
+        width = 1
+        if s:
+            width = max(int(np.max(self._sh_k[:s])), 1)
+
+        sh = np.zeros((max(n, 1), width, 3))
+        sh[:n] = self._sh[:n, :width, :]
+        self._sh = sh
+        self._sh_width = width
+        for attr, rows in (
+            ("_positions", n), ("_scales", n), ("_rotations", n),
+            ("_opacities", n),
+            ("_start", s), ("_length", s), ("_sh_k", s),
+            ("_cam_start", s), ("_cam_length", s),
+            ("_poses", c), ("_intrinsics", c),
+        ):
+            array = getattr(self, attr)
+            setattr(self, attr, np.array(array[: max(rows, 1)]))
+        return before - self.capacity_bytes
 
     def build_substore(self, indices: Iterable[Union[int, str]]) -> "SceneStore":
         """Build a new store holding copies of the given scenes, in order.

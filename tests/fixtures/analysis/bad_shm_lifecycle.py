@@ -1,0 +1,18 @@
+"""Fixture: SharedMemory creations with no lifecycle pairing (shm-lifecycle)."""
+
+from multiprocessing import shared_memory
+from multiprocessing.shared_memory import SharedMemory
+
+
+def create_segment(size: int):
+    """Creates a segment and hands it back with nobody on the hook."""
+    segment = SharedMemory(create=True, size=size)
+    return segment
+
+
+def attach_segment(name: str):
+    """Attaches by qualified name, equally unpaired."""
+    return shared_memory.SharedMemory(name=name)
+
+
+MODULE_LEVEL = SharedMemory(create=True, size=64)

@@ -1,0 +1,45 @@
+"""Fixture: SharedMemory lifecycles the shm-lifecycle rule accepts."""
+
+import atexit
+import weakref
+from multiprocessing.shared_memory import SharedMemory
+
+
+def with_context(size: int) -> bytes:
+    """A with-item creation is closed by the context manager."""
+    with SharedMemory(create=True, size=size) as segment:
+        return bytes(segment.buf[:8])
+
+
+def try_finally(size: int) -> None:
+    """Creation paired with close()+unlink() in a finally block."""
+    segment = SharedMemory(create=True, size=size)
+    try:
+        segment.buf[0] = 1
+    finally:
+        segment.close()
+        segment.unlink()
+
+
+def cleanup_on_error(name: str):
+    """Creation whose failure path closes the mapping before re-raising."""
+    segment = SharedMemory(name=name)
+    try:
+        return segment
+    except BaseException:
+        segment.close()
+        raise
+
+
+def owner_with_finalizer(size: int):
+    """Long-lived owners may defer cleanup to a registered finalizer."""
+    segment = SharedMemory(create=True, size=size)
+    weakref.finalize(segment, segment.unlink)
+    return segment
+
+
+def owner_with_atexit(size: int):
+    """atexit registration counts as deferred cleanup too."""
+    segment = SharedMemory(create=True, size=size)
+    atexit.register(segment.close)
+    return segment

@@ -37,6 +37,7 @@ RULE_IDS = (
     "async-blocking",
     "async-state",
     "repr-hygiene",
+    "shm-lifecycle",
 )
 
 #: fixture stem -> the single rule its findings must all carry.
@@ -46,6 +47,7 @@ BAD_FIXTURES = {
     "bad_async_blocking": "async-blocking",
     "bad_async_state": "async-state",
     "bad_repr": "repr-hygiene",
+    "bad_shm_lifecycle": "shm-lifecycle",
 }
 
 GOOD_FIXTURES = (
@@ -54,6 +56,7 @@ GOOD_FIXTURES = (
     "good_async_blocking",
     "good_async_state",
     "good_repr",
+    "good_shm_lifecycle",
 )
 
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cli import main
-from repro.compression import CompressedSceneStore
+from repro.compression import CompressedSceneStore, load_store
 from repro.serving import SceneStore
 
 #: Small-scene arguments shared by every CLI invocation to keep tests fast.
@@ -334,3 +334,75 @@ class TestLintCommand:
         assert main(["lint", bad, "--baseline", str(baseline)]) == 0
         out = capsys.readouterr().out
         assert "baselined" in out
+
+
+class TestStorageFlags:
+    """CLI surface of the storage tiers: store --shared/--paged, serve --storage."""
+
+    def test_store_reports_capacity_and_payload(self, capsys):
+        assert main(["store", *SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "KiB allocated for" in out and "KiB payload" in out
+
+    def test_store_paged_write_and_inspect(self, tmp_path, capsys):
+        archive = tmp_path / "paged-store"
+        assert main([
+            "store", *SMALL, "--paged", "--output", str(archive),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "paged store written to" in out
+        assert (archive / "manifest.json").exists()
+
+        assert main([
+            "store", "--info", str(archive), "--memory-budget", "65536",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "paged tier:" in out and "budget 64.0 KiB" in out
+        assert "total: 3 scenes" in out
+
+    def test_store_from_archive_source(self, tmp_path, capsys):
+        flat = tmp_path / "flat.npz"
+        assert main(["store", *SMALL, "--output", str(flat)]) == 0
+        capsys.readouterr()
+        paged = tmp_path / "paged"
+        assert main([
+            "store", "--from", str(flat), "--paged", "--output", str(paged),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert f"source: {flat}" in out
+        assert "paged store written to" in out
+        loaded = load_store(paged)
+        assert len(loaded) == 3
+
+    def test_store_shared_reports_segment(self, capsys):
+        assert main(["store", *SMALL, "--shared"]) == 0
+        out = capsys.readouterr().out
+        assert "shared segment: repro-shm-" in out
+        assert "unlinked on exit" in out
+
+    def test_serve_with_paged_storage_and_tiny_budget(self, capsys):
+        assert main([
+            "serve", *SMALL, "--requests", "12", "--storage", "paged",
+            "--memory-budget", "32768",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "storage=paged" in out
+        assert "served 12 requests" in out
+        assert "paged tier:" in out
+
+    def test_serve_with_shared_storage_and_workers(self, capsys):
+        assert main([
+            "serve", *SMALL, "--requests", "12", "--workers", "2",
+            "--storage", "shared",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "storage=shared" in out
+        assert "served 12 requests" in out
+
+    def test_serve_shared_rejects_lod(self, capsys):
+        assert main([
+            "serve", *SMALL, "--requests", "4", "--lod",
+            "--storage", "shared",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "paged" in err

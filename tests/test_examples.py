@@ -23,6 +23,7 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 SMOKE_EXAMPLES = (
     "lod_streaming.py",
     "async_gateway.py",
+    "out_of_core_serving.py",
 )
 
 _RUNS: dict = {}
@@ -65,6 +66,25 @@ def test_async_gateway_walkthrough_markers():
         "counters reconcile",
         "priority lanes",
         "hardware model:",
+    ):
+        assert marker in completed.stdout, (
+            f"missing {marker!r} in:\n{completed.stdout}"
+        )
+
+
+def test_out_of_core_serving_walkthrough_markers():
+    """The storage example exercises both tiers and a clean lifecycle."""
+    completed = _run_example("out_of_core_serving.py")
+    assert completed.returncode == 0, completed.stderr
+    for marker in (
+        "shared tier: segment repro-shm-",
+        "bit-identical frames: True",
+        "bytes privately owned (zero-copy)",
+        "reader snapshot intact across the growth epoch: True",
+        "paged tier: archive",
+        "<= budget: True",
+        "bit-identical frames from disk: True",
+        "leaked shared-memory segments: none",
     ):
         assert marker in completed.stdout, (
             f"missing {marker!r} in:\n{completed.stdout}"

@@ -17,6 +17,8 @@ single-core friendly); process-mode coverage rides a couple of dedicated
 tests, the heaviest marked ``slow`` (tier-1 skips them, CI runs them).
 """
 
+import os
+
 import numpy as np
 import pytest
 
@@ -28,9 +30,11 @@ from repro.serving import (
     RenderService,
     SceneStore,
     ShardedRenderService,
+    SharedSceneStore,
     generate_requests,
     popularity_priority,
 )
+from repro.serving.storage import SharedStoreView
 
 NUM_WORKERS = 4
 
@@ -246,3 +250,89 @@ class TestChaosThroughEvaluateTrace:
             system.evaluate_trace(
                 store, trace[:4], failure_plan=FailurePlan.at((2, 0))
             )
+
+
+def _repro_segments() -> set:
+    """Names of this test process's live repro shared-memory segments."""
+    prefix = f"repro-shm-{os.getpid()}-"
+    try:
+        return {name for name in os.listdir("/dev/shm")
+                if name.startswith(prefix)}
+    except FileNotFoundError:  # pragma: no cover - non-POSIX-shm platform
+        return set()
+
+
+class TestSharedStorageChaos:
+    """Kill/respawn schedules against a shared-memory hosted catalog.
+
+    The residency contract under chaos: worker death never leaks a
+    segment (workers attach untracked, only the owner unlinks), respawned
+    workers re-attach to the existing segment instead of re-copying the
+    catalog, and frames stay bit-identical throughout.
+    """
+
+    @pytest.fixture()
+    def shared_catalog(self, store):
+        catalog = SharedSceneStore(
+            store.get_scene(index) for index in range(len(store))
+        )
+        try:
+            yield catalog
+        finally:
+            catalog.close()
+
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_kill_schedule_leaks_no_segments(
+        self, store, trace, priority, single_report, shared_catalog, seed
+    ):
+        plan = FailurePlan.seeded(
+            num_workers=NUM_WORKERS, num_requests=len(trace),
+            num_kills=2, seed=seed,
+        )
+        with _fleet(
+            shared_catalog, priority, use_processes=True
+        ) as fleet:
+            report = fleet.serve(trace, failure_plan=plan)
+        _assert_chaos_contract(report, trace, single_report)
+        # Catalog segment alive for the owner, and nothing else: the
+        # killed workers' deaths must not have unlinked or leaked anything.
+        assert _repro_segments() == {shared_catalog.segment_name}
+
+    def test_respawn_reattaches_instead_of_recopying(
+        self, store, trace, priority, single_report, shared_catalog
+    ):
+        # Unreplicated placement so killing a worker forces a respawn.
+        with _fleet(
+            shared_catalog, None, replication=1, use_processes=False
+        ) as fleet:
+            plan = FailurePlan.at((10, 1))
+            report = fleet.serve(trace, failure_plan=plan)
+            assert report.respawned >= 1
+            substore = fleet._services[1].store
+            # The respawned worker serves zero-copy views of the hosted
+            # segment: a reference list, not a rebuilt catalog copy.
+            assert isinstance(substore, SharedStoreView)
+            assert substore.owned_bytes == 0
+            assert np.shares_memory(
+                substore.get_cloud(0).positions, shared_catalog._positions
+            )
+        _assert_chaos_contract(report, trace, single_report)
+        assert _repro_segments() == {shared_catalog.segment_name}
+
+    def test_owner_close_after_chaos_unlinks_everything(
+        self, store, trace, priority, single_report
+    ):
+        catalog = SharedSceneStore(
+            store.get_scene(index) for index in range(len(store))
+        )
+        plan = FailurePlan.seeded(
+            num_workers=NUM_WORKERS, num_requests=len(trace),
+            num_kills=3, seed=5,
+        )
+        with _fleet(catalog, priority, use_processes=True) as fleet:
+            report = fleet.serve(trace, failure_plan=plan)
+        _assert_chaos_contract(report, trace, single_report)
+        catalog.close()
+        # Resource-tracker clean: no segment of this catalog survives its
+        # owner, whatever the kill schedule did to the attached readers.
+        assert _repro_segments() == set()

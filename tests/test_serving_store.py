@@ -310,3 +310,55 @@ class TestSceneIOWrappers:
         )
         loaded = load_scene(path)
         _assert_scenes_identical(loaded, scene)
+
+
+class TestCompaction:
+    """remove_scene must not strand capacity: compact()/auto-shrink."""
+
+    def test_explicit_compact_returns_freed_bytes(self):
+        store = SceneStore([_scene(seed=s, num_gaussians=120) for s in range(4)])
+        # Force slack: grow past the initial allocation.
+        store.add_scene(_scene(seed=9, num_gaussians=500))
+        store.remove_scene(4)
+        before = store.capacity_bytes
+        freed = store.compact()
+        assert freed == before - store.capacity_bytes
+        assert freed > 0
+        assert store.capacity_bytes == store.nbytes
+
+    def test_compact_preserves_payload(self):
+        scenes = [_scene(seed=s, sh_degree=2) for s in range(3)]
+        store = SceneStore(scenes)
+        reference = [store.get_cloud(i).positions.copy() for i in range(3)]
+        store.compact()
+        for i, expected in enumerate(reference):
+            assert np.array_equal(store.get_cloud(i).positions, expected)
+        _assert_clouds_identical(store.get_cloud(1), scenes[1].cloud)
+
+    def test_heavy_removal_auto_shrinks_capacity(self):
+        store = SceneStore([_scene(seed=s, num_gaussians=200) for s in range(8)])
+        grown = store.capacity_bytes
+        for name in list(store.names)[1:]:
+            store.remove_scene(name)
+        # The shrink twin of geometric growth fired: capacity tracks the
+        # one surviving scene instead of the eight-scene high-water mark.
+        assert store.capacity_bytes < grown
+        assert store.capacity_bytes <= 4 * store.nbytes
+
+    def test_compact_on_empty_store(self):
+        store = SceneStore()
+        freed = store.compact()
+        assert freed >= 0
+        assert len(store) == 0
+        store.add_scene(_scene(seed=1))
+        assert store.num_gaussians == 50
+
+    def test_compact_then_grow_again(self):
+        store = SceneStore([_scene(seed=s) for s in range(4)])
+        for index in (3, 2, 1):
+            store.remove_scene(index)
+        store.compact()
+        extra = _scene(seed=42, num_gaussians=150, name="extra")
+        store.add_scene(extra)
+        assert store.names == ["scene-0", "extra"]
+        _assert_clouds_identical(store.get_cloud(1), extra.cloud)
