@@ -1,0 +1,323 @@
+"""Resource-lease rule: leak-prone handles must reach cleanup on every path.
+
+PR 9 made storage a leased resource (``host_store()`` returns a
+:class:`~repro.serving.storage.StorageLease`) and PR 8 made the fleet a web
+of ``multiprocessing`` pipes and processes.  All of them hold kernel-side
+state a garbage collector does not promptly return: an unclosed lease pins
+a shared segment or a paged workdir, an unclosed pipe end keeps the peer's
+``recv`` alive, an unjoined process lingers as a zombie.
+
+This module is the CFG-based **may-leak engine** the ``resource-lease`` and
+``shm-lifecycle`` rules share.  A *creation* is an assignment whose value is
+a call matching a :class:`LeaseSpec` (``handle = open(...)``,
+``parent, child = Pipe()``).  From the creation statement the engine walks
+the scope's :mod:`~repro.analysis.flow` graph along non-exceptional edges;
+a path that reaches the scope's normal exit without passing a *stop* is a
+leak.  Stops are:
+
+* a cleanup call on the value or any forward alias of it
+  (``handle.close()``, ``process.join()`` — verbs per spec);
+* an **ownership transfer**: the value returned or yielded, passed as a
+  call argument (which covers ``weakref.finalize``/``atexit.register``
+  finalizers and container ``.append``), stored into an attribute,
+  subscript, or container literal, or declared ``global``/``nonlocal`` —
+  after any of these the creating scope no longer solely owns the handle;
+* a later ``with`` block managing the value.
+
+Constructor calls in non-assignment positions (``return open(path)``, a
+``with`` item, an argument) are ownership transfers at birth and are not
+tracked.  ``if x is not None`` / ``if x`` guards are refuted along paths
+where ``x`` provably holds the resource, so the repo's guarded
+``finally: ... lease.close()`` idiom is recognized.  The analysis is
+deliberately conservative in the other direction too: any call that merely
+*sees* the handle counts as a transfer, so a real leak may hide behind a
+logging call — the rule aims for zero false positives on the live tree,
+not completeness.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.core import Finding, ParsedModule, Project, Rule, register
+from repro.analysis import flow as _flow
+
+
+@dataclass(frozen=True)
+class LeaseSpec:
+    """One family of leak-prone constructors and its cleanup contract.
+
+    Attributes
+    ----------
+    label:
+        Human-readable name of the resource, used in messages.
+    callee:
+        Callable names that construct it — matched against the final
+        ``Name``/``Attribute`` component of the call target.
+    verbs:
+        Method names that count as cleanup on the value or an alias.
+    bare_name_only:
+        Restrict matching to bare ``Name`` calls (used for ``open`` so
+        ``json.open``-style unrelated attributes never match).
+    remedy:
+        Short fix suggestion appended to the finding message.
+    """
+
+    label: str
+    callee: FrozenSet[str]
+    verbs: FrozenSet[str]
+    remedy: str
+    bare_name_only: bool = False
+
+    def matches(self, node: ast.expr) -> bool:
+        """Whether a call expression constructs this resource."""
+        if not isinstance(node, ast.Call):
+            return False
+        target = node.func
+        if isinstance(target, ast.Name):
+            return target.id in self.callee
+        if isinstance(target, ast.Attribute) and not self.bare_name_only:
+            return target.attr in self.callee
+        return False
+
+
+def _mentions(node: ast.AST, aliases: Set[str]) -> bool:
+    """Whether a subtree reads any of the alias names."""
+    return any(
+        isinstance(child, ast.Name)
+        and child.id in aliases
+        and isinstance(child.ctx, ast.Load)
+        for child in ast.walk(node)
+    )
+
+
+def _effect_expressions(statement: ast.stmt) -> List[ast.AST]:
+    """The expressions a statement evaluates *itself* (header-only).
+
+    Compound statements contribute just their header — the branch bodies
+    live in their own CFG blocks and are classified separately.
+    """
+    if isinstance(statement, (ast.If, ast.While)):
+        return [statement.test]
+    if isinstance(statement, (ast.For, ast.AsyncFor)):
+        return [statement.iter]
+    if isinstance(statement, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in statement.items]
+    if isinstance(statement, ast.Match):
+        return [statement.subject]
+    if isinstance(statement, ast.ExceptHandler):
+        return [statement.type] if statement.type is not None else []
+    if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return list(statement.decorator_list)
+    return [statement]
+
+
+def _is_cleanup_call(node: ast.Call, aliases: Set[str], verbs: FrozenSet[str]) -> bool:
+    """Whether a call is ``alias.<verb>(...)`` for a cleanup verb."""
+    return (
+        isinstance(node.func, ast.Attribute)
+        and node.func.attr in verbs
+        and isinstance(node.func.value, ast.Name)
+        and node.func.value.id in aliases
+    )
+
+
+def statement_stops_leak(
+    statement: ast.stmt, aliases: Set[str], verbs: FrozenSet[str]
+) -> bool:
+    """Whether a statement cleans up or takes ownership of the value.
+
+    See the module docstring for the stop taxonomy.  Total on any
+    statement the CFG can hold (including compound headers).
+    """
+    if isinstance(statement, (ast.With, ast.AsyncWith)):
+        return any(
+            _mentions(item.context_expr, aliases) for item in statement.items
+        )
+    if isinstance(statement, (ast.Global, ast.Nonlocal)):
+        return bool(set(statement.names) & aliases)
+    if isinstance(statement, ast.Return):
+        return statement.value is not None and _mentions(statement.value, aliases)
+    if isinstance(statement, ast.Raise):
+        return any(
+            part is not None and _mentions(part, aliases)
+            for part in (statement.exc, statement.cause)
+        )
+    if isinstance(statement, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+        targets = (
+            statement.targets
+            if isinstance(statement, ast.Assign)
+            else [statement.target]
+        )
+        value = statement.value
+        if value is not None and _mentions(value, aliases):
+            if any(
+                isinstance(target, (ast.Attribute, ast.Subscript))
+                for target in targets
+            ):
+                return True
+            if isinstance(value, (ast.Tuple, ast.List, ast.Set, ast.Dict)):
+                return True
+    for root in _effect_expressions(statement):
+        for node in ast.walk(root):
+            if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                if node.value is not None and _mentions(node.value, aliases):
+                    return True
+            elif isinstance(node, ast.Call):
+                if _is_cleanup_call(node, aliases, verbs):
+                    return True
+                arguments = list(node.args) + [
+                    keyword.value for keyword in node.keywords
+                ]
+                if any(_mentions(argument, aliases) for argument in arguments):
+                    return True
+    return False
+
+
+def _refuted_successor(
+    graph: "_flow.FlowGraph", if_node: ast.If, aliases: Set[str]
+) -> Optional["_flow.BasicBlock"]:
+    """The branch target unreachable while an alias holds the resource.
+
+    ``if x`` / ``if x is not None`` cannot take the false edge, and
+    ``if not x`` / ``if x is None`` cannot take the true edge, when ``x``
+    is known to be bound to a live (truthy, non-``None``) resource handle.
+    """
+    targets = graph.branch_targets.get(id(if_node))
+    if targets is None:
+        return None
+    true_target, false_target = targets
+    test = if_node.test
+    if isinstance(test, ast.Name) and test.id in aliases:
+        return false_target
+    if (
+        isinstance(test, ast.UnaryOp)
+        and isinstance(test.op, ast.Not)
+        and isinstance(test.operand, ast.Name)
+        and test.operand.id in aliases
+    ):
+        return true_target
+    if (
+        isinstance(test, ast.Compare)
+        and isinstance(test.left, ast.Name)
+        and test.left.id in aliases
+        and len(test.ops) == 1
+        and len(test.comparators) == 1
+        and isinstance(test.comparators[0], ast.Constant)
+        and test.comparators[0].value is None
+    ):
+        if isinstance(test.ops[0], ast.IsNot):
+            return false_target
+        if isinstance(test.ops[0], ast.Is):
+            return true_target
+    return None
+
+
+def _tracked_creations(
+    graph: "_flow.FlowGraph", specs: Sequence[LeaseSpec]
+) -> Iterator[Tuple[ast.Assign, ast.Call, LeaseSpec, Set[str]]]:
+    """Creation assignments in one scope: ``(statement, call, spec, names)``."""
+    for statement in graph.statements():
+        if not isinstance(statement, ast.Assign):
+            continue
+        call = statement.value
+        spec = next((s for s in specs if s.matches(call)), None)
+        if spec is None:
+            continue
+        names: Set[str] = set()
+        for target in statement.targets:
+            names |= _flow._target_names(target)
+        if not names:
+            continue  # attribute/subscript target: escapes at birth
+        yield statement, call, spec, names
+
+
+def find_leaks(
+    module: ParsedModule, project: Project, specs: Sequence[LeaseSpec]
+) -> Iterator[Tuple[ast.Call, LeaseSpec]]:
+    """Yield ``(creation_call, spec)`` for every may-leak in a module."""
+    for scope in project.scopes(module):
+        graph = project.flow(scope)
+        for statement, call, spec, names in _tracked_creations(graph, specs):
+            aliases = _flow.taint_names(graph, lambda e, c=call: e is c) | names
+            stops = {
+                id(candidate)
+                for candidate in graph.statements()
+                if candidate is not statement
+                and statement_stops_leak(candidate, aliases, spec.verbs)
+            }
+
+            def allow(block, successor, g=graph, a=aliases):
+                """Prune branch edges refuted by a live-resource guard."""
+                if not block.statements:
+                    return True
+                last = block.statements[-1]
+                if not isinstance(last, ast.If):
+                    return True
+                return _refuted_successor(g, last, a) is not successor
+
+            if _flow.reaches_exit_without(graph, statement, stops, allow):
+                yield call, spec
+
+
+#: Constructor families checked by the ``resource-lease`` rule.  The shm
+#: family lives in :mod:`repro.analysis.shmlifecycle` (its own rule id).
+LEASE_SPECS: Tuple[LeaseSpec, ...] = (
+    LeaseSpec(
+        label="host_store() storage lease",
+        callee=frozenset({"host_store"}),
+        verbs=frozenset({"close"}),
+        remedy="close the lease or use `with host_store(...) as lease:`",
+    ),
+    LeaseSpec(
+        label="multiprocessing.Pipe() connection",
+        callee=frozenset({"Pipe"}),
+        verbs=frozenset({"close"}),
+        remedy="close both ends or hand them to the owning process",
+    ),
+    LeaseSpec(
+        label="multiprocessing.Process handle",
+        callee=frozenset({"Process"}),
+        verbs=frozenset({"join", "terminate", "kill", "close"}),
+        remedy="join/terminate the process or store the handle for shutdown",
+    ),
+    LeaseSpec(
+        label="open() file handle",
+        callee=frozenset({"open"}),
+        verbs=frozenset({"close"}),
+        remedy="use `with open(...) as handle:` or close it",
+        bare_name_only=True,
+    ),
+)
+
+
+@register
+class ResourceLeaseRule(Rule):
+    """Flag leak-prone handles that can reach scope exit without cleanup."""
+
+    id = "resource-lease"
+    summary = (
+        "storage leases, pipe ends, process handles and files must reach "
+        "close()/join()/a with block/an ownership transfer on every "
+        "non-exceptional path"
+    )
+
+    def check(self, module: ParsedModule, project: Project) -> Iterator[Finding]:
+        """Yield a finding per creation with a cleanup-free normal path."""
+        active = tuple(
+            spec
+            for spec in LEASE_SPECS
+            if any(name in module.source for name in spec.callee)
+        )
+        if not active:
+            return  # cheap pre-filter: no constructor name, no CFG work
+        for call, spec in find_leaks(module, project, active):
+            yield module.finding(
+                self.id,
+                call,
+                f"{spec.label} may leak: a non-exceptional path reaches "
+                f"scope exit without cleanup or ownership transfer; "
+                f"{spec.remedy}",
+            )

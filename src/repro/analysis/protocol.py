@@ -1,0 +1,381 @@
+"""Pipe-protocol rule: senders, worker dispatch and replies must agree.
+
+The sharded fleet (:mod:`repro.serving.sharded`) speaks a string-tagged
+tuple protocol over ``multiprocessing`` pipes: the dispatcher sends
+``("serve", payload)``/``("add_scene", store)``/... and each worker loop
+receives a message, dispatches on ``message[0]``, and replies
+``("ok", payload)`` or ``("error", traceback_text)``.  Nothing ties the
+two sides together at runtime — an unknown tag just surfaces as an
+``("error", "unknown command ...")`` reply mid-serve, and a forgotten
+sender leaves dead handler code.  PR 8 grew the vocabulary twice
+(``add_scene``/``remove_scene``); this rule makes the contract static.
+
+The analysis is project-wide (computed once per lint run, cached on the
+:class:`~repro.analysis.core.Project`):
+
+* **Workers** are scopes that assign a name from ``<conn>.recv()`` and
+  compare ``message[0]`` — directly or through an alias resolved with the
+  flow engine's reaching definitions (``command = message[0]``) — against
+  string constants.  Each ``if``/``elif`` arm contributes a handled tag
+  and a payload-arity demand (the largest constant ``message[N]`` index
+  its body reads).
+* **Request sends** are ``<conn>.send(("<tag>", ...))`` tuple literals
+  outside worker scopes — including through one *forwarder* hop: a
+  function that sends one of its parameters verbatim (``_call(self,
+  shard, message)``) turns its call sites' tuple-literal arguments into
+  send sites.
+* **Replies** are the worker's own sends, checked against the
+  ``("ok"|"error", payload)`` two-tuple grammar.
+
+Findings: a sent tag no worker handles, a handled tag nothing sends, a
+send whose tuple is shorter than the handler's ``message[N]`` demand, and
+a reply literal outside the grammar.  The rule stays silent in projects
+with no worker loop at all, so linting a lone client file cannot
+cross-check against nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.core import Finding, ParsedModule, Project, Rule, register
+from repro.analysis.flow import iter_scopes, walk_scope
+
+#: Reply tags allowed by the ``("ok"|"error", payload)`` grammar.
+_REPLY_TAGS = frozenset({"ok", "error"})
+
+_CACHE_KEY = "pipe-protocol"
+
+
+@dataclass
+class _Handler:
+    """One handled tag in one worker: where, and how much payload it reads."""
+
+    path: str
+    node: ast.AST
+    demand: int  # minimum tuple arity the handler body requires
+
+
+@dataclass
+class _SendSite:
+    """One request-send site: ``conn.send(("<tag>", ...))`` or forwarded."""
+
+    path: str
+    node: ast.AST
+    tag: str
+    arity: int
+
+
+@dataclass
+class _ProtocolFacts:
+    """The project's whole message vocabulary, swept once per lint run."""
+
+    handlers: Dict[str, List[_Handler]] = field(default_factory=dict)
+    sends: List[_SendSite] = field(default_factory=list)
+    reply_findings: List[Tuple[str, ast.AST, str]] = field(default_factory=list)
+    worker_scopes: int = 0
+
+
+def _recv_names(scope) -> Dict[str, str]:
+    """``message name -> connection name`` for ``X = <conn>.recv()`` binds."""
+    names: Dict[str, str] = {}
+    for node in walk_scope(scope):
+        if not (isinstance(node, ast.Assign) and isinstance(node.value, ast.Call)):
+            continue
+        func = node.value.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "recv"):
+            continue
+        if not isinstance(func.value, ast.Name):
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                names[target.id] = func.value.id
+    return names
+
+
+def _is_message_head(node: ast.expr, message_names: Set[str]) -> bool:
+    """Whether an expression is ``message[0]`` for a recv-bound name."""
+    return (
+        isinstance(node, ast.Subscript)
+        and isinstance(node.value, ast.Name)
+        and node.value.id in message_names
+        and isinstance(node.slice, ast.Constant)
+        and node.slice.value == 0
+    )
+
+
+def _compare_tags(test: ast.expr) -> Optional[Tuple[ast.expr, List[str]]]:
+    """``(dispatch expression, tags)`` for an equality/membership test."""
+    if not (
+        isinstance(test, ast.Compare)
+        and len(test.ops) == 1
+        and len(test.comparators) == 1
+    ):
+        return None
+    comparator = test.comparators[0]
+    if isinstance(test.ops[0], ast.Eq):
+        if isinstance(comparator, ast.Constant) and isinstance(
+            comparator.value, str
+        ):
+            return test.left, [comparator.value]
+        return None
+    if isinstance(test.ops[0], ast.In) and isinstance(
+        comparator, (ast.Tuple, ast.List, ast.Set)
+    ):
+        tags = [
+            element.value
+            for element in comparator.elts
+            if isinstance(element, ast.Constant)
+            and isinstance(element.value, str)
+        ]
+        return (test.left, tags) if tags else None
+    return None
+
+
+def _branch_demand(branch: ast.stmt, message_names: Set[str]) -> int:
+    """The tuple arity a handler arm requires (1 + max ``message[N]``)."""
+    demand = 1
+    for node in ast.walk(branch):
+        if (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.value, ast.Name)
+            and node.value.id in message_names
+            and isinstance(node.slice, ast.Constant)
+            and isinstance(node.slice.value, int)
+        ):
+            demand = max(demand, node.slice.value + 1)
+    return demand
+
+
+def _scan_worker(
+    module: ParsedModule, project: Project, scope, facts: _ProtocolFacts
+) -> bool:
+    """Record a scope's handlers/replies if it is a worker loop."""
+    recv = _recv_names(scope)
+    if not recv:
+        return False
+    message_names = set(recv)
+    graph = project.flow(scope)
+    reaching = None
+    handled: List[Tuple[str, ast.AST, int]] = []
+    for node in walk_scope(scope):
+        if not isinstance(node, ast.If):
+            continue
+        matched = _compare_tags(node.test)
+        if matched is None:
+            continue
+        dispatch, tags = matched
+        is_dispatch = _is_message_head(dispatch, message_names)
+        if not is_dispatch and isinstance(dispatch, ast.Name):
+            # ``command == "serve"`` — resolve the alias back through the
+            # CFG's reaching definitions to ``command = message[0]``.
+            if reaching is None:
+                reaching = graph.reaching_definitions()
+            definition = reaching.resolve(node, dispatch.id)
+            is_dispatch = (
+                isinstance(definition, ast.Assign)
+                and _is_message_head(definition.value, message_names)
+            )
+        if is_dispatch:
+            demand = _branch_demand(node, message_names)
+            for tag in tags:
+                handled.append((tag, node.test, demand))
+    if not handled:
+        return False
+    facts.worker_scopes += 1
+    for tag, test_node, demand in handled:
+        facts.handlers.setdefault(tag, []).append(
+            _Handler(path=module.path, node=test_node, demand=demand)
+        )
+    # Reply grammar: the worker's own sends on its connection name(s).
+    connections = set(recv.values())
+    for node in walk_scope(scope):
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+            continue
+        if node.func.attr != "send" or not isinstance(node.func.value, ast.Name):
+            continue
+        if node.func.value.id not in connections or not node.args:
+            continue
+        reply = node.args[0]
+        if not isinstance(reply, ast.Tuple):
+            continue
+        head = reply.elts[0] if reply.elts else None
+        head_tag = (
+            head.value
+            if isinstance(head, ast.Constant) and isinstance(head.value, str)
+            else None
+        )
+        if len(reply.elts) != 2 or head_tag not in _REPLY_TAGS:
+            facts.reply_findings.append(
+                (
+                    module.path,
+                    node,
+                    f"worker reply {ast.unparse(reply)} does not match the "
+                    f'("ok"|"error", payload) two-tuple grammar',
+                )
+            )
+    return True
+
+
+def _forwarder_positions(scope) -> Optional[Tuple[str, int, bool]]:
+    """``(name, arg index, skips self)`` if the scope forwards a parameter.
+
+    A forwarder is a function with a ``<conn>.send(param)`` statement whose
+    argument is one of its own parameters — ``_call(self, shard, message)``
+    — so its call sites are really send sites.
+    """
+    if not isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return None
+    parameters = [argument.arg for argument in scope.args.args]
+    for node in walk_scope(scope):
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+            continue
+        if node.func.attr != "send" or len(node.args) != 1:
+            continue
+        argument = node.args[0]
+        if isinstance(argument, ast.Name) and argument.id in parameters:
+            index = parameters.index(argument.id)
+            skips_self = bool(parameters) and parameters[0] in ("self", "cls")
+            if skips_self:
+                index -= 1
+            return scope.name, index, skips_self
+    return None
+
+
+def _tuple_send(node: ast.Call) -> Optional[Tuple[str, int]]:
+    """``(tag, arity)`` when a call's first argument is a tagged tuple."""
+    if not node.args or not isinstance(node.args[0], ast.Tuple):
+        return None
+    elements = node.args[0].elts
+    if not elements:
+        return None
+    head = elements[0]
+    if isinstance(head, ast.Constant) and isinstance(head.value, str):
+        return head.value, len(elements)
+    return None
+
+
+def _collect_facts(project: Project) -> _ProtocolFacts:
+    """Sweep the whole project once for workers, send sites and replies."""
+    facts = _ProtocolFacts()
+    worker_scope_ids: Set[int] = set()
+    forwarders: Dict[str, int] = {}
+
+    relevant = [
+        module
+        for module in project.modules
+        if ".send(" in module.source or ".recv(" in module.source
+    ]
+    for module in relevant:
+        for scope in iter_scopes(module.tree):
+            if _scan_worker(module, project, scope, facts):
+                worker_scope_ids.add(id(scope))
+            else:
+                forwarder = _forwarder_positions(scope)
+                if forwarder is not None:
+                    forwarders[forwarder[0]] = forwarder[1]
+
+    for module in relevant:
+        for scope in iter_scopes(module.tree):
+            if id(scope) in worker_scope_ids:
+                continue  # worker sends are replies, recorded above
+            for node in walk_scope(scope):
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, (ast.Attribute, ast.Name))
+                ):
+                    continue
+                callee = (
+                    node.func.attr
+                    if isinstance(node.func, ast.Attribute)
+                    else node.func.id
+                )
+                if callee == "send":
+                    send = _tuple_send(node)
+                    if send is not None:
+                        facts.sends.append(
+                            _SendSite(module.path, node, send[0], send[1])
+                        )
+                elif callee in forwarders:
+                    position = forwarders[callee]
+                    if 0 <= position < len(node.args):
+                        argument = node.args[position]
+                        if isinstance(argument, ast.Tuple) and argument.elts:
+                            head = argument.elts[0]
+                            if isinstance(head, ast.Constant) and isinstance(
+                                head.value, str
+                            ):
+                                facts.sends.append(
+                                    _SendSite(
+                                        module.path,
+                                        node,
+                                        head.value,
+                                        len(argument.elts),
+                                    )
+                                )
+    return facts
+
+
+def protocol_facts(project: Project) -> _ProtocolFacts:
+    """The project's cached :class:`_ProtocolFacts` (one sweep per run)."""
+    if _CACHE_KEY not in project.analysis_cache:
+        project.analysis_cache[_CACHE_KEY] = _collect_facts(project)
+    return project.analysis_cache[_CACHE_KEY]
+
+
+@register
+class PipeProtocolRule(Rule):
+    """Cross-check pipe message vocabulary: sends vs. dispatch vs. replies."""
+
+    id = "pipe-protocol"
+    summary = (
+        'every connection.send(("<tag>", ...)) needs a worker-side handler '
+        "with matching payload arity (and vice versa); replies must be "
+        '("ok"|"error", payload)'
+    )
+
+    def check(self, module: ParsedModule, project: Project) -> Iterator[Finding]:
+        """Yield this module's share of the project-wide protocol findings."""
+        facts = protocol_facts(project)
+        if not facts.worker_scopes:
+            return  # no worker loop in the project: nothing to check against
+        handled_tags = set(facts.handlers)
+        sent_tags = {site.tag for site in facts.sends}
+        for site in facts.sends:
+            if site.path != module.path:
+                continue
+            if site.tag not in handled_tags:
+                known = ", ".join(sorted(handled_tags))
+                yield module.finding(
+                    self.id,
+                    site.node,
+                    f"sent command {site.tag!r} has no worker-side handler "
+                    f"(handled: {known})",
+                )
+                continue
+            demand = max(h.demand for h in facts.handlers[site.tag])
+            if site.arity < demand:
+                yield module.finding(
+                    self.id,
+                    site.node,
+                    f"payload arity mismatch for {site.tag!r}: sends a "
+                    f"{site.arity}-tuple but a handler reads "
+                    f"message[{demand - 1}]",
+                )
+        for tag, handlers in sorted(facts.handlers.items()):
+            if tag in sent_tags:
+                continue
+            for handler in handlers:
+                if handler.path != module.path:
+                    continue
+                yield module.finding(
+                    self.id,
+                    handler.node,
+                    f"handler for command {tag!r} has no sender anywhere "
+                    f"in the project (dead protocol arm)",
+                )
+        for path, node, message in facts.reply_findings:
+            if path == module.path:
+                yield module.finding(self.id, node, message)

@@ -1,4 +1,4 @@
-"""Reporters for lint results: human-readable text and machine-usable JSON.
+"""Reporters for lint results: text, machine-usable JSON, GitHub annotations.
 
 The JSON schema (version 1) is stable for CI consumption::
 
@@ -22,9 +22,15 @@ The JSON schema (version 1) is stable for CI consumption::
       ]
     }
 
+``--format github`` emits one `workflow command
+<https://docs.github.com/actions/reference/workflow-commands-for-github-actions>`__
+per finding (``::error file=...,line=...,col=...,title=...::message``) so
+CI findings annotate the PR diff inline; baselined findings downgrade to
+``::warning``.
+
 Exit-code policy (enforced by :mod:`repro.analysis.runner`): 0 when
 ``summary.clean`` is true, 1 when findings exist, 2 on analyzer-internal
-errors (unknown rule, unreadable path, bad baseline).
+errors (unknown rule, unreadable path, undecodable file, bad baseline).
 """
 
 from __future__ import annotations
@@ -71,6 +77,49 @@ def render_text(findings: Sequence[Finding], num_files: int) -> str:
                 if summary["baselined"]
                 else ""
             )
+        )
+    return "\n".join(lines)
+
+
+def _escape_data(value: str) -> str:
+    """Escape a workflow-command message per the GitHub Actions spec."""
+    return value.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+
+
+def _escape_property(value: str) -> str:
+    """Escape a workflow-command property (``file=``/``title=``) value."""
+    return (
+        _escape_data(value).replace(":", "%3A").replace(",", "%2C")
+    )
+
+
+def render_github(findings: Sequence[Finding], num_files: int) -> str:
+    """Render findings as GitHub Actions ``::error``/``::warning`` commands.
+
+    One command per finding annotates the PR diff at the offending line;
+    baselined (grandfathered) findings become warnings.  The trailing
+    summary line is ordinary log text.
+    """
+    lines: List[str] = []
+    for finding in findings:
+        level = "warning" if finding.baselined else "error"
+        lines.append(
+            f"::{level} "
+            f"file={_escape_property(finding.path)},"
+            f"line={finding.line},"
+            f"col={finding.col},"
+            f"title={_escape_property(finding.rule)}::"
+            f"{_escape_data(finding.message)}"
+        )
+    summary = _summary(findings, num_files)
+    if summary["clean"]:
+        lines.append(
+            f"repro lint: clean — {summary['files']} files, 0 findings"
+        )
+    else:
+        lines.append(
+            f"repro lint: {summary['findings']} finding(s) in "
+            f"{summary['files']} files"
         )
     return "\n".join(lines)
 

@@ -7,10 +7,15 @@ file), and renders the findings through :mod:`repro.analysis.report`.
 
 Exit codes are part of the contract (CI and pre-commit hooks consume
 them): **0** clean, **1** at least one non-baselined finding, **2**
-analyzer-internal error (unknown rule, unreadable path, malformed
-baseline).  A file that fails to *parse* is reported as a ``parse-error``
-finding (exit 1) — a broken target is a property of the tree, not of the
-analyzer.
+analyzer-internal error (unknown rule, unreadable path, a file that is
+not valid UTF-8, malformed baseline).  A file that fails to *parse* is
+reported as a ``parse-error`` finding (exit 1) — a broken target is a
+property of the tree, not of the analyzer.
+
+``--update-baseline`` rewrites the baseline file to exactly the current
+findings' fingerprints (sorted, stable), warning on stderr about pruned
+entries — fingerprints that no longer match any finding, including those
+newly silenced by ``# repro: ignore[...]`` comments.
 """
 
 from __future__ import annotations
@@ -28,7 +33,7 @@ from repro.analysis.core import (
     resolve_rules,
     RULES,
 )
-from repro.analysis.report import render_json, render_text
+from repro.analysis.report import render_github, render_json, render_text
 
 #: Directory names never descended into during discovery.
 _SKIPPED_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache"}
@@ -41,8 +46,17 @@ def default_paths() -> List[str]:
     return [str(Path(repro.__file__).parent)]
 
 
-def iter_python_files(paths: Iterable[str]) -> List[Path]:
-    """Expand files/directories into a sorted list of ``.py`` files."""
+def iter_python_files(
+    paths: Iterable[str],
+    exclude: Iterable[str] = (),
+) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files.
+
+    ``exclude`` adds directory names to the skip set (``--exclude
+    fixtures`` keeps the deliberately-broken lint fixtures out of a
+    tree-wide run); explicitly listed files are never excluded.
+    """
+    skipped = _SKIPPED_DIRS | set(exclude)
     files: List[Path] = []
     for entry in paths:
         path = Path(entry)
@@ -53,7 +67,7 @@ def iter_python_files(paths: Iterable[str]) -> List[Path]:
                 candidate
                 for candidate in sorted(path.rglob("*.py"))
                 if not any(
-                    part in _SKIPPED_DIRS or part.startswith(".")
+                    part in skipped or part.startswith(".")
                     for part in candidate.parts
                 )
             )
@@ -69,7 +83,17 @@ def load_modules(
     modules: List[ParsedModule] = []
     errors: List[Finding] = []
     for path in files:
-        source = path.read_text()
+        try:
+            source = path.read_text(encoding="utf-8")
+        except UnicodeDecodeError as error:
+            # Analyzer-internal diagnostic (exit 2), not a finding: an
+            # undecodable file means the *target set* is wrong, the same
+            # class of problem as a nonexistent path.
+            raise ValueError(
+                f"{path} is not valid UTF-8 "
+                f"(byte {error.object[error.start]:#04x} at offset "
+                f"{error.start}): lint targets must be UTF-8 text"
+            ) from error
         try:
             modules.append(ParsedModule(path, source))
         except SyntaxError as error:
@@ -89,14 +113,16 @@ def lint_paths(
     paths: Optional[Sequence[str]] = None,
     rules: Optional[Sequence[str]] = None,
     baseline: Optional[str] = None,
+    exclude: Iterable[str] = (),
 ) -> Tuple[List[Finding], int]:
     """Lint files/directories and return ``(findings, files scanned)``.
 
     ``rules`` optionally restricts the run to the named rule ids;
     ``baseline`` optionally points at a JSON baseline file whose
-    fingerprints are reported as grandfathered rather than new.
+    fingerprints are reported as grandfathered rather than new;
+    ``exclude`` adds directory names skipped during discovery.
     """
-    files = iter_python_files(paths if paths else default_paths())
+    files = iter_python_files(paths if paths else default_paths(), exclude)
     modules, errors = load_modules(files)
     fingerprints = Baseline.load(baseline).fingerprints if baseline else None
     findings = lint_modules(
@@ -120,8 +146,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to lint (default: the repro package)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="report format (json follows the documented v1 schema)",
+        "--format", choices=("text", "json", "github"), default="text",
+        help=(
+            "report format (json follows the documented v1 schema; github "
+            "emits ::error workflow annotations)"
+        ),
     )
     parser.add_argument(
         "--rules", default=None, metavar="ID[,ID...]",
@@ -132,10 +161,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON baseline of grandfathered finding fingerprints",
     )
     parser.add_argument(
+        "--update-baseline", action="store_true",
+        help=(
+            "rewrite the baseline (default lint-baseline.json) to the "
+            "current findings, pruning stale fingerprints, and exit 0"
+        ),
+    )
+    parser.add_argument(
+        "--exclude", action="append", default=None, metavar="NAME",
+        help=(
+            "directory name to skip during discovery (repeatable); "
+            "e.g. --exclude fixtures"
+        ),
+    )
+    parser.add_argument(
         "--list-rules", action="store_true",
         help="list the registered rules and exit",
     )
     return parser
+
+
+#: Baseline path rewritten when ``--update-baseline`` is given bare.
+DEFAULT_BASELINE = "lint-baseline.json"
+
+_RENDERERS = {
+    "text": render_text,
+    "json": render_json,
+    "github": render_github,
+}
+
+
+def _update_baseline(
+    findings: Sequence[Finding], baseline_path: str, old: set
+) -> set:
+    """Rewrite the baseline to the current findings; return pruned entries.
+
+    Parse errors are deliberately never baselined — a file that stops
+    parsing must keep failing the build.
+    """
+    current = {
+        finding.fingerprint
+        for finding in findings
+        if finding.rule != "parse-error"
+    }
+    pruned = old - current
+    Baseline(fingerprints=current).save(baseline_path)
+    return pruned
 
 
 def run(
@@ -144,6 +215,8 @@ def run(
     rules: Optional[str] = None,
     baseline: Optional[str] = None,
     list_rules: bool = False,
+    update_baseline: bool = False,
+    exclude: Optional[Sequence[str]] = None,
     stream=None,
 ) -> int:
     """Execute a lint run and print the report; returns the exit code.
@@ -162,13 +235,41 @@ def run(
             if rules
             else None
         )
-        findings, num_files = lint_paths(
-            paths, rules=rule_names, baseline=baseline
+        baseline_path = baseline
+        if update_baseline and baseline_path is None:
+            baseline_path = DEFAULT_BASELINE
+        load_path = (
+            baseline_path
+            if baseline_path and Path(baseline_path).exists()
+            else None
         )
+        findings, num_files = lint_paths(
+            paths, rules=rule_names, baseline=load_path,
+            exclude=tuple(exclude or ()),
+        )
+        if update_baseline:
+            old = (
+                Baseline.load(load_path).fingerprints if load_path else set()
+            )
+            pruned = _update_baseline(findings, baseline_path, old)
+            for fingerprint in sorted(pruned):
+                print(
+                    f"repro lint: pruned stale baseline entry {fingerprint}",
+                    file=sys.stderr,
+                )
+            kept = len(
+                {f.fingerprint for f in findings if f.rule != "parse-error"}
+            )
+            print(
+                f"repro lint: baseline {baseline_path} updated — "
+                f"{kept} fingerprint(s), {len(pruned)} pruned",
+                file=stream,
+            )
+            return 0
     except (FileNotFoundError, KeyError, ValueError, OSError) as error:
         print(f"repro lint: error: {error}", file=sys.stderr)
         return 2
-    renderer = render_json if output_format == "json" else render_text
+    renderer = _RENDERERS.get(output_format, render_text)
     print(renderer(findings, num_files), file=stream)
     return 1 if any(not finding.baselined for finding in findings) else 0
 
@@ -186,4 +287,6 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         rules=arguments.rules,
         baseline=arguments.baseline,
         list_rules=arguments.list_rules,
+        update_baseline=arguments.update_baseline,
+        exclude=arguments.exclude,
     )

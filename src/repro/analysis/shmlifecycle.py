@@ -8,140 +8,44 @@ the backing pages under ``/dev/shm`` — a leak that survives crashes,
 a hard contract (owner unlinks, every holder closes), and this rule
 machine-checks the half of the contract that is visible statically.
 
-Every call expression that constructs a ``SharedMemory(...)`` is flagged
-unless the surrounding code shows one of the accepted lifecycle idioms:
+Since PR 10 the rule runs on the :mod:`repro.analysis.leases` may-leak
+engine instead of the original scope-level heuristic: a segment assigned to
+a local name is followed through the scope's control-flow graph, and a
+non-exceptional path that reaches the scope's exit without a
+``close()``/``unlink()`` on an alias, a managing ``with`` block, or an
+ownership transfer (returned, passed to a callee such as
+``weakref.finalize``/``atexit.register``, stored into object state) is a
+finding.  Factories that *return* a fresh segment are now understood as
+transferring ownership to the caller and are no longer flagged — the old
+rule needed a ``# repro: ignore[shm-lifecycle]`` for that idiom.
 
-* the call is the context expression of a ``with`` item (the context
-  manager closes the mapping);
-* the innermost enclosing function (or the module, for top-level code)
-  contains a ``try`` whose ``finally`` or ``except`` blocks call
-  ``.close()`` or ``.unlink()``;
-* that same scope registers a finalizer — ``weakref.finalize(...)`` or
-  ``atexit.register(...)`` — which is how long-lived owners defer cleanup
-  beyond the creating frame.
-
-Deliberate exceptions carry ``# repro: ignore[shm-lifecycle]`` on the
-creation line (for example a factory whose caller owns the lifecycle).
-The heuristic is scope-level, not data-flow — it asks "does this scope
-visibly participate in the lifecycle protocol", which is cheap, has no
-false negatives on bare creations, and matches how the storage tier is
-actually written.
+Deliberate exceptions still carry ``# repro: ignore[shm-lifecycle]`` on the
+creation line.
 """
 
 from __future__ import annotations
 
-import ast
-from typing import Iterator, Optional, Union
+from typing import Iterator
 
 from repro.analysis.core import Finding, ParsedModule, Project, Rule, register
+from repro.analysis.leases import LeaseSpec, find_leaks
 
-_Scope = Union[ast.Module, ast.FunctionDef, ast.AsyncFunctionDef]
-
-#: Method names that count as participating in the segment lifecycle.
-_CLEANUP_METHODS = frozenset({"close", "unlink"})
-
-
-def _is_shared_memory_call(node: ast.AST) -> bool:
-    """Whether a call expression constructs a ``SharedMemory``."""
-    if not isinstance(node, ast.Call):
-        return False
-    target = node.func
-    if isinstance(target, ast.Name):
-        return target.id == "SharedMemory"
-    if isinstance(target, ast.Attribute):
-        return target.attr == "SharedMemory"
-    return False
-
-
-def _scope_nodes(scope: _Scope) -> Iterator[ast.AST]:
-    """Walk a scope without descending into nested function/class scopes."""
-    stack = list(scope.body)
-    while stack:
-        node = stack.pop()
-        yield node
-        if isinstance(
-            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
-        ):
-            continue
-        stack.extend(ast.iter_child_nodes(node))
-
-
-def _calls_cleanup(node: ast.AST) -> bool:
-    """Whether a subtree calls ``.close()``/``.unlink()`` on anything."""
-    for child in ast.walk(node):
-        if not isinstance(child, ast.Call):
-            continue
-        target = child.func
-        if isinstance(target, ast.Attribute) and target.attr in _CLEANUP_METHODS:
-            return True
-    return False
-
-
-def _registers_finalizer(node: ast.AST) -> bool:
-    """Whether a node is a ``weakref.finalize``/``atexit.register`` call."""
-    if not isinstance(node, ast.Call):
-        return False
-    target = node.func
-    if isinstance(target, ast.Attribute):
-        if target.attr == "finalize":
-            return True
-        if target.attr == "register" and isinstance(target.value, ast.Name):
-            return target.value.id == "atexit"
-    if isinstance(target, ast.Name):
-        return target.id == "finalize"
-    return False
-
-
-def _scope_handles_lifecycle(scope: _Scope) -> bool:
-    """Whether a scope visibly participates in the lifecycle protocol.
-
-    True when the scope has a ``try`` whose ``finally``/``except`` blocks
-    call a cleanup method, or registers a finalizer for deferred cleanup.
-    """
-    for node in _scope_nodes(scope):
-        if isinstance(node, ast.Try):
-            for handler in node.handlers:
-                if any(_calls_cleanup(stmt) for stmt in handler.body):
-                    return True
-            if any(_calls_cleanup(stmt) for stmt in node.finalbody):
-                return True
-        if _registers_finalizer(node):
-            return True
-    return False
-
-
-def _with_item_expressions(scope: _Scope) -> set:
-    """Identity set of context expressions of every ``with`` in a scope."""
-    expressions = set()
-    for node in _scope_nodes(scope):
-        if isinstance(node, (ast.With, ast.AsyncWith)):
-            for item in node.items:
-                expressions.add(id(item.context_expr))
-    return expressions
-
-
-def _innermost_scope(module: ParsedModule, creation: ast.AST) -> _Scope:
-    """The function scope a creation call sits in (module for top level)."""
-    scope: _Scope = module.tree
-    candidate: Optional[_Scope] = None
-
-    def visit(node: ast.AST, current: _Scope) -> None:
-        nonlocal candidate
-        for child in ast.iter_child_nodes(node):
-            inner = current
-            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                inner = child
-            if child is creation:
-                candidate = current
-            visit(child, inner)
-
-    visit(module.tree, scope)
-    return candidate if candidate is not None else scope
+#: The SharedMemory constructor family, on the shared may-leak engine.
+SHM_SPEC = LeaseSpec(
+    label="SharedMemory segment",
+    callee=frozenset({"SharedMemory"}),
+    verbs=frozenset({"close", "unlink"}),
+    remedy=(
+        "pair the creation with close()/unlink() (finally/context manager) "
+        "or register a finalizer; leaked segments survive process death "
+        "under /dev/shm"
+    ),
+)
 
 
 @register
 class ShmLifecycleRule(Rule):
-    """Flag SharedMemory creations with no visible cleanup pairing."""
+    """Flag SharedMemory creations that may leak on a normal path."""
 
     id = "shm-lifecycle"
     summary = (
@@ -151,23 +55,14 @@ class ShmLifecycleRule(Rule):
     )
 
     def check(self, module: ParsedModule, project: Project) -> Iterator[Finding]:
-        """Yield a finding per unpaired ``SharedMemory(...)`` creation."""
-        creations = [
-            node for node in ast.walk(module.tree)
-            if _is_shared_memory_call(node)
-        ]
-        if not creations:
-            return
-        for creation in creations:
-            scope = _innermost_scope(module, creation)
-            if id(creation) in _with_item_expressions(scope):
-                continue
-            if _scope_handles_lifecycle(scope):
-                continue
+        """Yield a finding per ``SharedMemory(...)`` that may leak."""
+        if "SharedMemory" not in module.source:
+            return  # cheap pre-filter: no constructor, no CFG work
+        for call, spec in find_leaks(module, project, (SHM_SPEC,)):
             yield module.finding(
                 self.id,
-                creation,
-                "SharedMemory segment created without a paired close()/"
-                "unlink() (finally/context manager) or registered "
-                "finalizer in this scope",
+                call,
+                f"{spec.label} may leak: a non-exceptional path reaches "
+                f"scope exit without cleanup or ownership transfer; "
+                f"{spec.remedy}",
             )

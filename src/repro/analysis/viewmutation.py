@@ -1,0 +1,241 @@
+"""View-mutation rule: zero-copy scene views must never be written.
+
+``SceneStore.get_scene``/``get_cloud`` return :class:`numpy.ndarray` views
+over the store's own buffers — and under the shared storage tier those
+buffers live in one ``/dev/shm`` segment mapped by every worker.  A write
+through such a view (``cloud.positions[0] = ...``) is not a local mutation:
+it tears the scene for every attached process at once, with no error at
+the write site.  The serving stack therefore treats views as read-only by
+contract (the shared tier even arms ``writeable=False`` where it can); this
+rule enforces the contract statically, including through aliases.
+
+Per scope, forward alias tracking (the same closure the
+:mod:`repro.analysis.flow` engine provides) marks every name that may hold
+a view:
+
+* results of ``<x>.get_scene(...)`` / ``<x>.get_cloud(...)`` method calls;
+* results of ``<x>.build_substore(...)`` when the receiver is a known
+  shared store (``SharedSceneStore(...)``/``SharedStoreView(...)`` value)
+  or itself a view;
+* ``SharedStoreView(...)`` instances — their fields alias the segment;
+* projections of any of the above: an attribute or subscript load out of a
+  view is a view (``scene.cloud.positions``).
+
+Flagged sinks are subscript/attribute stores rooted in a view (including
+direct chains like ``store.get_cloud(0).positions[0] = v``), augmented
+assignment on a view, ``np.copyto(view, ...)`` and ``view.fill(...)``.
+Deliberate writes (e.g. a test asserting the read-only contract raises)
+carry ``# repro: ignore[view-mutation]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set, Tuple
+
+from repro.analysis.core import Finding, ParsedModule, Project, Rule, register
+from repro.analysis.flow import (
+    _target_names,
+    iter_scopes,
+    projection_root,
+    walk_scope,
+)
+
+#: Zero-copy accessor method names (any receiver: every store's views
+#: alias its buffers, shared tier or not).
+_VIEW_METHODS = frozenset({"get_scene", "get_cloud"})
+
+#: Constructors whose results are shared stores (valid ``build_substore``
+#: receivers); ``SharedStoreView`` instances are additionally views.
+_SHARED_STORE_CALLEES = frozenset({"SharedSceneStore", "SharedStoreView"})
+
+
+def _callee_name(node: ast.expr) -> str:
+    """The final name component of a call target (empty when unnamed)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return ""
+
+
+class _ScopeViews:
+    """Alias analysis of one scope: which names/expressions hold views."""
+
+    def __init__(self, scope):
+        self.scope = scope
+        self.tainted: Set[str] = set()
+        self.shared_stores: Set[str] = set()
+        self._assignments: List[Tuple[Set[str], ast.expr]] = []
+        self._collect()
+        self._solve()
+
+    def _collect(self) -> None:
+        """Gather the scope's name bindings once."""
+        for node in walk_scope(self.scope):
+            if isinstance(node, ast.Assign):
+                names: Set[str] = set()
+                for target in node.targets:
+                    names |= _target_names(target)
+                if names:
+                    self._assignments.append((names, node.value))
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                names = _target_names(node.target)
+                if names:
+                    self._assignments.append((names, node.value))
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if item.optional_vars is not None:
+                        names = _target_names(item.optional_vars)
+                        if names:
+                            self._assignments.append((names, item.context_expr))
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                names = _target_names(node.target)
+                if names:
+                    self._assignments.append((names, node.iter))
+
+    def is_view_call(self, node: ast.expr) -> bool:
+        """Whether a call expression produces a zero-copy view/substore."""
+        if not isinstance(node, ast.Call):
+            return False
+        callee = _callee_name(node.func)
+        if callee == "SharedStoreView":
+            return True
+        if not isinstance(node.func, ast.Attribute):
+            # Bare-name calls (``get_scene(...)``) are unrelated module
+            # functions — ``repro.datasets`` has one — never views.
+            return False
+        if callee in _VIEW_METHODS:
+            return True
+        if callee == "build_substore":
+            receiver = node.func.value
+            if isinstance(receiver, ast.Name):
+                return (
+                    receiver.id in self.shared_stores
+                    or receiver.id in self.tainted
+                )
+            return self.is_view_call(receiver)
+        return False
+
+    def expression_is_view(self, node: ast.expr) -> bool:
+        """Whether an expression may denote a view (aliases + projections)."""
+        root = projection_root(node)
+        if isinstance(root, ast.Name):
+            return root.id in self.tainted
+        if isinstance(root, ast.Call):
+            return self.is_view_call(root)
+        return False
+
+    def _solve(self) -> None:
+        """Fixpoint: taint names bound to views, shared stores by name."""
+        changed = True
+        while changed:
+            changed = False
+            for names, value in self._assignments:
+                if (
+                    isinstance(value, ast.Call)
+                    and _callee_name(value.func) in _SHARED_STORE_CALLEES
+                    and not names <= self.shared_stores
+                ):
+                    self.shared_stores |= names
+                    changed = True
+                if names <= self.tainted:
+                    continue
+                if self.expression_is_view(value):
+                    self.tainted |= names
+                    changed = True
+
+
+def _sink_description(statement: ast.AST) -> str:
+    """Short description of the mutating operation for the message."""
+    if isinstance(statement, ast.AugAssign):
+        return "augmented assignment"
+    if isinstance(statement, (ast.Assign, ast.AnnAssign)):
+        return "store into"
+    return "in-place write"
+
+
+@register
+class ViewMutationRule(Rule):
+    """Flag writes through zero-copy scene/cloud views."""
+
+    id = "view-mutation"
+    summary = (
+        "values aliased from get_scene()/get_cloud()/build_substore() "
+        "views must never be written — a write tears the scene for every "
+        "process attached to the shared segment"
+    )
+
+    _MESSAGE = (
+        "write through a zero-copy view ({what} {target}); views alias "
+        "the store's buffers (one shared segment under the shared tier) "
+        "— copy first (.copy()) or go through the owning store's API"
+    )
+
+    def _finding(self, module: ParsedModule, node: ast.AST, what: str,
+                 target: str) -> Finding:
+        """Build the rule's finding for one mutating site."""
+        return module.finding(
+            self.id, node, self._MESSAGE.format(what=what, target=target)
+        )
+
+    def check(self, module: ParsedModule, project: Project) -> Iterator[Finding]:
+        """Yield a finding per write rooted in a view alias."""
+        source = module.source
+        if not any(
+            token in source
+            for token in ("get_scene", "get_cloud", "build_substore",
+                          "SharedStoreView")
+        ):
+            return  # cheap pre-filter: no view accessor, nothing to taint
+        for scope in iter_scopes(module.tree):
+            views = _ScopeViews(scope)
+            for node in walk_scope(scope):
+                if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                    targets = (
+                        node.targets
+                        if isinstance(node, ast.Assign)
+                        else [node.target]
+                    )
+                    for target in targets:
+                        if isinstance(
+                            target, (ast.Attribute, ast.Subscript)
+                        ) and views.expression_is_view(target):
+                            yield self._finding(
+                                module, node, "store into",
+                                ast.unparse(target),
+                            )
+                elif isinstance(node, ast.AugAssign):
+                    target = node.target
+                    is_view = (
+                        isinstance(target, ast.Name)
+                        and target.id in views.tainted
+                    ) or (
+                        isinstance(target, (ast.Attribute, ast.Subscript))
+                        and views.expression_is_view(target)
+                    )
+                    if is_view:
+                        yield self._finding(
+                            module, node, "augmented assignment on",
+                            ast.unparse(target),
+                        )
+                elif isinstance(node, ast.Call):
+                    func = node.func
+                    if not isinstance(func, ast.Attribute):
+                        continue
+                    if (
+                        func.attr == "copyto"
+                        and node.args
+                        and views.expression_is_view(node.args[0])
+                    ):
+                        yield self._finding(
+                            module, node, "np.copyto into",
+                            ast.unparse(node.args[0]),
+                        )
+                    elif func.attr == "fill" and views.expression_is_view(
+                        func.value
+                    ):
+                        yield self._finding(
+                            module, node, ".fill() on",
+                            ast.unparse(func.value),
+                        )

@@ -58,12 +58,16 @@ Eight subcommands cover the library's main flows::
     python -m repro validate [--fp16]
         Hardware-vs-software output validation sweep (Section V-A).
 
-    python -m repro lint [PATH ...] [--format text|json] [--rules ID,...]
-                         [--baseline PATH] [--list-rules]
+    python -m repro lint [PATH ...] [--format text|json|github]
+                         [--rules ID,...] [--baseline PATH]
+                         [--update-baseline] [--exclude NAME]
+                         [--list-rules]
         Run the AST-based invariant linter (repro.analysis) over the tree:
         determinism, cache-key completeness, async-safety, repr-hygiene,
-        shm-lifecycle.  Exits 0 when clean, 1 on findings, 2 on
-        analyzer-internal errors.
+        shm-lifecycle, pipe-protocol, resource-lease, view-mutation.
+        Exits 0 when clean, 1 on findings, 2 on analyzer-internal errors;
+        --update-baseline rewrites the baseline to the current findings
+        (pruning stale fingerprints) and exits 0.
 """
 
 from __future__ import annotations
@@ -303,15 +307,24 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("paths", nargs="*", metavar="PATH",
                       help="files or directories to lint "
                            "(default: the repro package)")
-    lint.add_argument("--format", choices=("text", "json"), default="text",
+    lint.add_argument("--format", choices=("text", "json", "github"),
+                      default="text",
                       help="report format (json follows the documented "
-                           "v1 schema)")
+                           "v1 schema; github emits ::error workflow "
+                           "annotations)")
     lint.add_argument("--rules", default=None, metavar="ID[,ID...]",
                       help="comma-separated subset of rules to run "
                            "(default: all)")
     lint.add_argument("--baseline", default=None, metavar="PATH",
                       help="JSON baseline of grandfathered finding "
                            "fingerprints")
+    lint.add_argument("--update-baseline", action="store_true",
+                      help="rewrite the baseline to the current findings, "
+                           "pruning stale fingerprints, and exit 0")
+    lint.add_argument("--exclude", action="append", default=None,
+                      metavar="NAME",
+                      help="directory name to skip during discovery "
+                           "(repeatable), e.g. --exclude fixtures")
     lint.add_argument("--list-rules", action="store_true",
                       help="list the registered rules and exit")
     return parser
@@ -804,6 +817,8 @@ def _command_lint(args: argparse.Namespace) -> int:
         rules=args.rules,
         baseline=args.baseline,
         list_rules=args.list_rules,
+        update_baseline=args.update_baseline,
+        exclude=args.exclude,
     )
 
 

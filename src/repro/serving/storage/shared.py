@@ -165,8 +165,9 @@ def _attach_segment(name: str) -> SharedMemory:
         original = resource_tracker.register
         resource_tracker.register = lambda *args, **kwargs: None
         try:
-            # lifecycle owned by the caller, which registers a finalizer
-            return SharedMemory(name=name)  # repro: ignore[shm-lifecycle]
+            # Lifecycle owned by the caller, which registers a finalizer;
+            # the may-leak engine reads the return as ownership transfer.
+            return SharedMemory(name=name)
         finally:
             resource_tracker.register = original
 

@@ -1,0 +1,41 @@
+"""Fixture: pipe-protocol violations — a fixture copy of the dispatch loop.
+
+Mirrors the ``_shard_worker_main`` / dispatcher split of
+``repro.serving.sharded`` with every protocol bug class present: a sent
+tag with no handler, a handled tag with no sender, a payload-arity
+mismatch, and a reply outside the ``("ok"|"error", payload)`` grammar.
+"""
+
+
+def worker_main(connection, service):
+    """Worker loop: dispatch on message[0] through a command alias."""
+    while True:
+        message = connection.recv()
+        command = message[0]
+        if command == "close":
+            break
+        if command == "serve":
+            connection.send(("ok", service.serve(message[1])))
+        elif command == "reset":
+            service.reset_caches()
+            # Bad reply: three elements, first not "ok"/"error".
+            connection.send(("done", None, 0))
+        elif command == "stats":
+            # Dead protocol arm: nothing ever sends "stats".
+            connection.send(("ok", service.stats()))
+        else:
+            connection.send(("error", f"unknown command {command!r}"))
+    connection.close()
+
+
+def dispatch(connections, payload):
+    """Dispatcher side: one tag unknown, one payload too short."""
+    for connection in connections:
+        connection.send(("serve", payload))
+        # No handler for "flush" in any worker.
+        connection.send(("flush", payload))
+    # "serve" handlers read message[1]: a bare 1-tuple under-fills it.
+    connections[0].send(("serve",))
+    connections[0].send(("reset",))
+    for connection in connections:
+        connection.send(("close",))

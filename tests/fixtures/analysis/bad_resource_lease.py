@@ -1,0 +1,33 @@
+"""Fixture: leak-prone handles with cleanup-free paths (resource-lease)."""
+
+import multiprocessing
+
+
+def early_return_leaks_lease(store, host_store, storage: str):
+    """The error path returns before the lease is closed."""
+    lease = host_store(store, storage)
+    hosted = lease.store
+    if len(hosted) == 0:
+        return None
+    frames = hosted.num_cameras
+    lease.close()
+    return frames
+
+
+def pipe_ends_dropped():
+    """Both pipe ends fall out of scope still open."""
+    parent_end, child_end = multiprocessing.Pipe()
+    parent_end.poll(0)
+
+
+def process_never_joined(target):
+    """A started process handle is dropped: zombie on exit."""
+    process = multiprocessing.Process(target=target)
+    process.start()
+
+
+def file_left_open(path: str) -> str:
+    """An open() without with/close leaks the descriptor."""
+    handle = open(path)
+    first = handle.readline()
+    return first

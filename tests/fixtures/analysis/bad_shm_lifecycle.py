@@ -1,18 +1,23 @@
-"""Fixture: SharedMemory creations with no lifecycle pairing (shm-lifecycle)."""
+"""Fixture: SharedMemory creations that may leak (shm-lifecycle)."""
 
 from multiprocessing import shared_memory
 from multiprocessing.shared_memory import SharedMemory
 
 
-def create_segment(size: int):
-    """Creates a segment and hands it back with nobody on the hook."""
+def create_and_drop(size: int) -> None:
+    """Creates a segment, uses it, and falls off the end without cleanup."""
     segment = SharedMemory(create=True, size=size)
-    return segment
+    segment.buf[0] = 1
 
 
-def attach_segment(name: str):
-    """Attaches by qualified name, equally unpaired."""
-    return shared_memory.SharedMemory(name=name)
+def early_return_leak(size: int) -> bool:
+    """The happy path closes — but the early return leaks the mapping."""
+    segment = shared_memory.SharedMemory(create=True, size=size)
+    if size > 4096:
+        return False
+    segment.close()
+    segment.unlink()
+    return True
 
 
 MODULE_LEVEL = SharedMemory(create=True, size=64)

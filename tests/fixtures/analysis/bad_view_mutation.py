@@ -1,0 +1,43 @@
+"""Fixture: writes through zero-copy views (view-mutation)."""
+
+import numpy as np
+
+
+def write_through_alias(store):
+    """A field of a view is a view; writing it tears the shared scene."""
+    cloud = store.get_cloud(0)
+    positions = cloud.positions
+    positions[0] = 1.0
+
+
+def write_through_chain(reader):
+    """Direct chained write through the accessor."""
+    reader.get_cloud(0).colors[:, 0] = 0.5
+
+
+def augmented_assign_on_view(store):
+    """Augmented assignment mutates the buffer in place."""
+    scene = store.get_scene(2)
+    scene.cloud.opacities *= 0.5
+
+
+def copyto_into_view(store, replacement):
+    """np.copyto writes into the first argument."""
+    cloud = store.get_cloud(1)
+    np.copyto(cloud.positions, replacement)
+
+
+def fill_view(shared_store):
+    """Substores of shared stores stay zero-copy: .fill() writes through."""
+    sub = shared_store.build_substore([0, 1])
+    sub.get_cloud(0).opacities.fill(0.0)
+
+
+def shared_view_field_store(view_args):
+    """SharedStoreView fields alias the segment directly."""
+    view = SharedStoreView(*view_args)
+    view.positions[3] = 2.0
+
+
+class SharedStoreView:
+    """Stand-in so the fixture parses standalone."""

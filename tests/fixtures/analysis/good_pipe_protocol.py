@@ -1,0 +1,36 @@
+"""Fixture: a consistent pipe protocol the pipe-protocol rule accepts."""
+
+
+def worker_main(connection, service):
+    """Worker loop: every handled tag has a sender, replies in-grammar."""
+    while True:
+        message = connection.recv()
+        command = message[0]
+        if command == "close":
+            break
+        try:
+            if command == "serve":
+                connection.send(("ok", service.serve(message[1])))
+            elif command == "reset":
+                service.reset_caches()
+                connection.send(("ok", None))
+            else:
+                connection.send(("error", f"unknown command {command!r}"))
+        except Exception as error:
+            connection.send(("error", str(error)))
+    connection.close()
+
+
+def call(connection, message):
+    """Forwarder: send one command tuple and await the reply."""
+    connection.send(message)
+    return connection.recv()
+
+
+def dispatch(connections, payload):
+    """Dispatcher side: tags and arities match the worker dispatch."""
+    for connection in connections:
+        connection.send(("serve", payload))
+        call(connection, ("reset",))
+    for connection in connections:
+        connection.send(("close",))

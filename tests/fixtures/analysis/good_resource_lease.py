@@ -1,0 +1,56 @@
+"""Fixture: resource lifecycles the resource-lease rule accepts."""
+
+import multiprocessing
+
+
+def lease_context(store, host_store, storage: str):
+    """Context-managed lease: closed by __exit__."""
+    with host_store(store, storage) as lease:
+        return lease.store.num_cameras
+
+
+def lease_guarded_finally(store, host_store, storage: str):
+    """The repo's guarded-finally idiom around an optional lease."""
+    lease = None
+    try:
+        if storage != "memory":
+            lease = host_store(store, storage)
+            store = lease.store
+        return store.num_cameras
+    finally:
+        if lease is not None:
+            lease.close()
+
+
+def pipe_handed_to_process(target):
+    """One end rides into the child, the other is closed after spawn."""
+    parent_end, child_end = multiprocessing.Pipe()
+    process = multiprocessing.Process(target=target, args=(child_end,))
+    process.start()
+    child_end.close()
+    registry = {"worker": process}
+    return registry, parent_end
+
+
+def process_joined(target):
+    """Spawn, run, join: the handle is reaped on every normal path."""
+    process = multiprocessing.Process(target=target)
+    process.start()
+    process.join()
+
+
+def file_with_context(path: str) -> str:
+    """with open(...) closes on every path."""
+    with open(path) as handle:
+        return handle.readline()
+
+
+def file_closed_on_both_paths(path: str, strict: bool) -> str:
+    """Both branches close before leaving."""
+    handle = open(path)
+    if strict:
+        line = handle.readline()
+        handle.close()
+        return line
+    handle.close()
+    return ""

@@ -43,3 +43,26 @@ def owner_with_atexit(size: int):
     segment = SharedMemory(create=True, size=size)
     atexit.register(segment.close)
     return segment
+
+
+def factory(name: str):
+    """Returning a fresh segment transfers ownership to the caller."""
+    return SharedMemory(name=name)
+
+
+def guarded_close(size: int) -> None:
+    """The repo's guarded-finally idiom: close when actually created."""
+    segment = None
+    try:
+        segment = SharedMemory(create=True, size=size)
+        segment.buf[0] = 1
+    finally:
+        if segment is not None:
+            segment.close()
+            segment.unlink()
+
+
+def handoff(segments: list, size: int) -> None:
+    """Appending to a registry hands the lifecycle to the registry owner."""
+    segment = SharedMemory(create=True, size=size)
+    segments.append(segment)

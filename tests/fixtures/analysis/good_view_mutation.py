@@ -1,0 +1,37 @@
+"""Fixture: view handling the view-mutation rule accepts."""
+
+import numpy as np
+
+
+def read_only_use(store):
+    """Reading through views is the whole point of zero-copy."""
+    cloud = store.get_cloud(0)
+    return float(cloud.positions.sum())
+
+
+def copy_then_mutate(store):
+    """Copying first detaches from the shared buffer."""
+    positions = store.get_cloud(0).positions.copy()
+    positions[0] = 1.0
+    return positions
+
+
+def build_fresh_arrays(store):
+    """Arrays built from scratch are not views."""
+    blended = np.zeros((4, 3))
+    blended[0] = 1.0
+    blended += 0.25
+    return blended
+
+
+def unrelated_bare_function(get_scene, index):
+    """A bare-name get_scene(...) call is not the store accessor."""
+    scene = get_scene(index)
+    scene.tags["seen"] = True
+    return scene
+
+
+def plain_substore(store, indices):
+    """build_substore on a non-shared store copies; mutation is local."""
+    sub = store.build_substore(indices)
+    return sub

@@ -23,6 +23,7 @@ from repro.analysis import (
     RULES,
     lint_paths,
     lint_source,
+    render_github,
     render_json,
     resolve_rules,
     run,
@@ -38,6 +39,9 @@ RULE_IDS = (
     "async-state",
     "repr-hygiene",
     "shm-lifecycle",
+    "pipe-protocol",
+    "resource-lease",
+    "view-mutation",
 )
 
 #: fixture stem -> the single rule its findings must all carry.
@@ -48,6 +52,9 @@ BAD_FIXTURES = {
     "bad_async_state": "async-state",
     "bad_repr": "repr-hygiene",
     "bad_shm_lifecycle": "shm-lifecycle",
+    "bad_pipe_protocol": "pipe-protocol",
+    "bad_resource_lease": "resource-lease",
+    "bad_view_mutation": "view-mutation",
 }
 
 GOOD_FIXTURES = (
@@ -57,6 +64,9 @@ GOOD_FIXTURES = (
     "good_async_state",
     "good_repr",
     "good_shm_lifecycle",
+    "good_pipe_protocol",
+    "good_resource_lease",
+    "good_view_mutation",
 )
 
 
@@ -189,6 +199,37 @@ class TestReporters:
         assert first.fingerprint == moved.fingerprint
         assert first.fingerprint != other.fingerprint
 
+    def test_github_format_emits_workflow_commands(self):
+        finding = Finding(
+            rule="view-mutation", path="src/a.py", line=7, col=2,
+            message="bad, very: 100% wrong\nsecond line",
+        )
+        report = render_github([finding], num_files=1)
+        command = report.splitlines()[0]
+        assert command.startswith(
+            "::error file=src/a.py,line=7,col=2,title=view-mutation::"
+        )
+        # Workflow-command escaping: %, newline in data; the summary line
+        # stays plain text.
+        assert "100%25 wrong%0Asecond line" in command
+        assert report.splitlines()[-1].startswith("repro lint: 1 finding")
+
+    def test_github_format_baselined_downgrades_to_warning(self):
+        finding = Finding(
+            rule="r", path="p.py", line=1, col=0, message="m", baselined=True,
+        )
+        report = render_github([finding], num_files=1)
+        assert report.splitlines()[0].startswith("::warning ")
+        assert report.splitlines()[-1].startswith("repro lint: clean")
+
+    def test_github_format_exit_code_still_one(self, tmp_path, capsys):
+        exit_code = run(
+            paths=[str(FIXTURES / "bad_determinism.py")],
+            output_format="github",
+        )
+        assert exit_code == 1
+        assert "::error file=" in capsys.readouterr().out
+
 
 class TestBaseline:
     def test_baselined_findings_do_not_fail(self, tmp_path):
@@ -220,6 +261,170 @@ class TestBaseline:
         assert baseline.fingerprints == set()
 
 
+class TestUpdateBaseline:
+    def test_update_writes_current_findings_sorted(self, tmp_path, capsys):
+        baseline_path = tmp_path / "baseline.json"
+        exit_code = run(
+            paths=[str(FIXTURES / "bad_determinism.py")],
+            baseline=str(baseline_path),
+            update_baseline=True,
+        )
+        assert exit_code == 0
+        data = json.loads(baseline_path.read_text())
+        assert data["version"] == 1
+        assert data["fingerprints"] == sorted(data["fingerprints"])
+        assert len(data["fingerprints"]) > 0
+        # A follow-up run against the refreshed baseline is green.
+        assert run(
+            paths=[str(FIXTURES / "bad_determinism.py")],
+            baseline=str(baseline_path),
+            stream=open("/dev/null", "w"),
+        ) == 0
+
+    def test_update_prunes_stale_entries_and_warns(self, tmp_path, capsys):
+        baseline_path = tmp_path / "baseline.json"
+        Baseline(fingerprints={"deadbeefdeadbeef"}).save(baseline_path)
+        exit_code = run(
+            paths=[str(FIXTURES / "good_determinism.py")],
+            baseline=str(baseline_path),
+            update_baseline=True,
+        )
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        assert "pruned stale baseline entry deadbeefdeadbeef" in captured.err
+        assert json.loads(baseline_path.read_text())["fingerprints"] == []
+
+    def test_update_defaults_to_repo_baseline_name(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "clean.py").write_text("x = 1\n")
+        assert run(paths=["clean.py"], update_baseline=True,
+                   stream=open("/dev/null", "w")) == 0
+        assert json.loads(
+            (tmp_path / "lint-baseline.json").read_text()
+        )["fingerprints"] == []
+
+    def test_suppression_prunes_baselined_fingerprint(self, tmp_path, capsys):
+        """Silencing a finding with # repro: ignore[...] prunes its entry."""
+        target = tmp_path / "module.py"
+        target.write_text("import random\nrandom.random()\n")
+        baseline_path = tmp_path / "baseline.json"
+        run(paths=[str(target)], baseline=str(baseline_path),
+            update_baseline=True)
+        stale = set(json.loads(baseline_path.read_text())["fingerprints"])
+        assert stale
+        target.write_text(
+            "import random\nrandom.random()  # repro: ignore[determinism]\n"
+        )
+        exit_code = run(paths=[str(target)], baseline=str(baseline_path),
+                        update_baseline=True)
+        assert exit_code == 0
+        assert "pruned stale baseline entry" in capsys.readouterr().err
+        assert json.loads(baseline_path.read_text())["fingerprints"] == []
+
+    def test_parse_errors_are_never_baselined(self, tmp_path):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def incomplete(:\n")
+        baseline_path = tmp_path / "baseline.json"
+        assert run(paths=[str(broken)], baseline=str(baseline_path),
+                   update_baseline=True,
+                   stream=open("/dev/null", "w")) == 0
+        assert json.loads(baseline_path.read_text())["fingerprints"] == []
+        # The broken file keeps failing the build despite the refresh.
+        assert run(paths=[str(broken)], baseline=str(baseline_path),
+                   stream=open("/dev/null", "w")) == 1
+
+
+class TestEncoding:
+    def test_latin1_file_is_an_exit2_diagnostic(self, tmp_path, capsys):
+        """The documented exit-2 path, not a raw UnicodeDecodeError."""
+        target = tmp_path / "latin1.py"
+        target.write_bytes('# caf\xe9\nx = 1\n'.encode("latin-1"))
+        exit_code = run(paths=[str(target)])
+        assert exit_code == 2
+        captured = capsys.readouterr()
+        assert "repro lint: error:" in captured.err
+        assert "not valid UTF-8" in captured.err
+
+    def test_utf8_file_still_lints(self, tmp_path):
+        target = tmp_path / "utf8.py"
+        target.write_text("# café\nx = 1\n", encoding="utf-8")
+        findings, num_files = lint_paths([str(target)])
+        assert findings == []
+        assert num_files == 1
+
+
+class TestProtocolMutation:
+    """The acceptance pin: protocol drift in the dispatch loop fails CI."""
+
+    def _fixture_source(self) -> str:
+        return (FIXTURES / "good_pipe_protocol.py").read_text()
+
+    def test_fixture_copy_is_clean(self):
+        assert lint_source(self._fixture_source(),
+                           rules=["pipe-protocol"]) == []
+
+    def test_deleting_a_worker_handler_fails(self, tmp_path):
+        """Dropping the 'reset' arm leaves its sender orphaned: exit 1."""
+        source = self._fixture_source()
+        mutated = source.replace(
+            '            elif command == "reset":\n'
+            '                service.reset_caches()\n'
+            '                connection.send(("ok", None))\n',
+            "",
+        )
+        assert mutated != source, "handler surgery did not match"
+        target = tmp_path / "mutated_protocol.py"
+        target.write_text(mutated)
+        findings, _ = lint_paths([str(target)], rules=["pipe-protocol"])
+        assert any(
+            finding.rule == "pipe-protocol"
+            and "'reset' has no worker-side handler" in finding.message
+            for finding in findings
+        ), [finding.format() for finding in findings]
+        assert run(paths=[str(target)], rules="pipe-protocol",
+                   stream=open("/dev/null", "w")) == 1
+
+    def test_deleting_a_sender_tag_fails(self, tmp_path):
+        """Dropping the 'reset' sender leaves a dead handler arm: exit 1."""
+        source = self._fixture_source()
+        mutated = source.replace(
+            '        call(connection, ("reset",))\n', ""
+        )
+        assert mutated != source, "sender surgery did not match"
+        target = tmp_path / "mutated_protocol.py"
+        target.write_text(mutated)
+        findings, _ = lint_paths([str(target)], rules=["pipe-protocol"])
+        assert any(
+            finding.rule == "pipe-protocol"
+            and "'reset' has no sender" in finding.message
+            for finding in findings
+        ), [finding.format() for finding in findings]
+        assert run(paths=[str(target)], rules="pipe-protocol",
+                   stream=open("/dev/null", "w")) == 1
+
+    def test_live_dispatch_loop_mutation_is_caught(self, tmp_path):
+        """Same surgery on the real sharded.py dispatch loop (PR-8 bug class)."""
+        source = (
+            REPO_ROOT / "src" / "repro" / "serving" / "sharded.py"
+        ).read_text()
+        needle = '            elif command == "remove_scene":'
+        assert needle in source, "sharded.py dispatch loop moved"
+        mutated = source.replace(
+            '            elif command == "remove_scene":\n'
+            '                service.remove_scene(message[1])\n'
+            '                connection.send(("ok", None))\n',
+            "",
+        )
+        assert mutated != source, "dispatch-loop surgery did not match"
+        target = tmp_path / "sharded_mutated.py"
+        target.write_text(mutated)
+        findings, _ = lint_paths([str(target)], rules=["pipe-protocol"])
+        assert any(
+            "'remove_scene' has no worker-side handler" in finding.message
+            for finding in findings
+        ), [finding.format() for finding in findings]
+
+
 class TestLiveTree:
     def test_src_and_examples_are_clean(self):
         """The CI gate: the real tree has zero findings, no baseline needed."""
@@ -230,6 +435,28 @@ class TestLiveTree:
             finding.format() for finding in findings
         )
         assert num_files > 80
+
+    def test_full_tree_with_tests_and_benchmarks_is_clean(self):
+        """The widened CI scope: tests/ and benchmarks/ lint clean too
+        (fixtures excluded — they are deliberately in violation)."""
+        findings, num_files = lint_paths(
+            [
+                str(REPO_ROOT / "src" / "repro"),
+                str(REPO_ROOT / "examples"),
+                str(REPO_ROOT / "tests"),
+                str(REPO_ROOT / "benchmarks"),
+            ],
+            exclude=("fixtures",),
+        )
+        assert findings == [], "\n".join(
+            finding.format() for finding in findings
+        )
+        assert num_files > 150
+
+    def test_exclude_keeps_fixtures_out(self):
+        files, _ = lint_paths([str(REPO_ROOT / "tests")],
+                              exclude=("fixtures",))
+        assert all("fixtures" not in finding.path for finding in files)
 
     def test_parse_error_is_a_finding(self, tmp_path):
         broken = tmp_path / "broken.py"

@@ -135,7 +135,8 @@ class TestSharedSceneStore:
             assert shared._positions.flags.writeable
             assert not reader._positions.flags.writeable
             with pytest.raises(ValueError):
-                reader.get_cloud(0).positions[0] = 0.0
+                # Deliberate contract probe: the write must raise.
+                reader.get_cloud(0).positions[0] = 0.0  # repro: ignore[view-mutation]
         finally:
             reader.close()
 
